@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Ablation: Scratchpad sizing vs Force-Recycle frequency (Sec. IV-C
+ * sizes the Scratchpad at 2048 pages so Force-Recycle calls are
+ * effectively zero). Sweeps the scratchpad capacity under a stream
+ * of offloads whose destinations recycle lazily.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "smartdimm/config.h"
+
+using namespace sd;
+
+namespace {
+
+struct Outcome
+{
+    std::uint64_t force_recycles = 0;
+    std::uint64_t self_recycles = 0;
+    double peak_kb = 0;
+};
+
+Outcome
+runWithCapacity(std::size_t scratch_pages)
+{
+    EventQueue events;
+    mem::BackingStore store;
+    mem::DramGeometry geometry;
+    geometry.channels = 1;
+    mem::AddressMap map(geometry, mem::ChannelInterleave::kNone);
+
+    smartdimm::SmartDimmConfig cfg;
+    cfg.scratchpad_bytes = scratch_pages * kPageSize;
+    smartdimm::BufferDevice dimm(events, map, store, cfg);
+
+    cache::CacheConfig cc;
+    cc.size_bytes = 2ull << 20; // contended LLC: evictions recycle
+    cache::MemorySystem memory(events, geometry,
+                               mem::ChannelInterleave::kNone, cc,
+                               {&dimm});
+    compcpy::Driver driver(1ULL << 20, 2048ULL << 20, cfg);
+    compcpy::CompCpyEngine::SharedState shared;
+    compcpy::CompCpyEngine engine(memory, driver, shared);
+
+    Rng rng(9);
+    constexpr std::size_t kMsg = 4096;
+    constexpr int kOffloads = 160;
+    std::vector<std::uint8_t> data(kMsg);
+
+    for (int i = 0; i < kOffloads; ++i) {
+        const Addr sbuf =
+            (1ULL << 20) + static_cast<Addr>(i) * 8 * kPageSize;
+        const Addr dbuf = sbuf + 4 * kPageSize;
+        rng.fill(data.data(), data.size());
+        memory.writeSync(sbuf, data.data(), data.size());
+
+        compcpy::CompCpyParams params;
+        params.sbuf = sbuf;
+        params.dbuf = dbuf;
+        params.size = kMsg;
+        params.ulp = smartdimm::UlpKind::kTlsEncrypt;
+        params.message_id = 1 + static_cast<std::uint64_t>(i);
+        rng.fill(params.key, sizeof(params.key));
+        rng.fill(params.iv.data(), params.iv.size());
+        engine.run(params);
+        // Lazy consumption: rely on LLC evictions; no USE flush.
+    }
+    events.run();
+
+    Outcome out;
+    out.force_recycles = engine.stats().force_recycles;
+    out.self_recycles = dimm.scratchpad().stats().self_recycles;
+    out.peak_kb = static_cast<double>(
+                      dimm.scratchpad().stats().peak_pages * kPageSize) /
+                  1024.0;
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Ablation: scratchpad sizing",
+                  "Force-Recycle frequency vs scratchpad capacity");
+    std::printf("%-16s %16s %16s %12s\n", "scratch_pages",
+                "force_recycles", "self_recycles", "peak_KB");
+    for (std::size_t pages : {16ul, 32ul, 64ul, 256ul, 1024ul, 2048ul}) {
+        const auto out = runWithCapacity(pages);
+        std::printf("%-16zu %16llu %16llu %12.1f\n", pages,
+                    static_cast<unsigned long long>(out.force_recycles),
+                    static_cast<unsigned long long>(out.self_recycles),
+                    out.peak_kb);
+    }
+    std::printf("\nPaper anchor: at the 2048-page (8 MB) sizing the\n"
+                "Force-Recycle path is effectively never taken.\n");
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction harnesses: row
+ * printing and the standard system rig (memory system + SmartDIMM
+ * buffer device + CompCpy engine) used by the device-level benches.
+ */
+
+#ifndef SD_BENCH_BENCH_UTIL_H
+#define SD_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/memory_system.h"
+#include "compcpy/compcpy.h"
+#include "compcpy/driver.h"
+#include "sim/event_queue.h"
+#include "smartdimm/buffer_device.h"
+
+namespace sd::bench {
+
+/** Print a bench header with the paper artefact it regenerates. */
+inline void
+header(const char *artifact, const char *description)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s — %s\n", artifact, description);
+    std::printf("==============================================================\n");
+}
+
+/** One-channel SmartDIMM system rig for device-level experiments. */
+struct DeviceRig
+{
+    EventQueue events;
+    mem::BackingStore store;
+    mem::DramGeometry geometry;
+    mem::AddressMap map;
+    smartdimm::BufferDevice dimm;
+    std::unique_ptr<cache::MemorySystem> memory;
+    compcpy::Driver driver;
+    compcpy::CompCpyEngine::SharedState shared;
+    compcpy::CompCpyEngine engine;
+
+    explicit DeviceRig(std::size_t llc_bytes = 32ull << 20,
+                       unsigned llc_ways = 16)
+        : geometry(makeGeometry()),
+          map(geometry, mem::ChannelInterleave::kNone),
+          dimm(events, map, store),
+          driver(/*base=*/1ULL << 20, /*bytes=*/2048ULL << 20),
+          engine(makeMemory(llc_bytes, llc_ways), driver, shared)
+    {
+    }
+
+    static mem::DramGeometry
+    makeGeometry()
+    {
+        mem::DramGeometry g;
+        g.channels = 1;
+        return g;
+    }
+
+    cache::MemorySystem &
+    makeMemory(std::size_t llc_bytes, unsigned llc_ways)
+    {
+        cache::CacheConfig cc;
+        cc.size_bytes = llc_bytes;
+        cc.ways = llc_ways;
+        cc.cpu_ways = llc_ways;
+        memory = std::make_unique<cache::MemorySystem>(
+            events, geometry, mem::ChannelInterleave::kNone, cc,
+            std::vector<mem::DimmDevice *>{&dimm});
+        return *memory;
+    }
+};
+
+} // namespace sd::bench
+
+#endif // SD_BENCH_BENCH_UTIL_H

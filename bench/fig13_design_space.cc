@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fig. 13: the ULP processing design-space comparison — each
+ * placement scored 0..5 against the paper's criteria (contention
+ * behaviour, transport compatibility, ULP diversity, loss resilience,
+ * transport-layer flexibility). Quantitative criteria are computed
+ * from the placement models; structural ones follow from the
+ * architecture.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "offload/design_space.h"
+
+using namespace sd;
+
+int
+main()
+{
+    bench::header("Figure 13", "ULP processing design-space comparison");
+
+    const auto points = offload::designSpace();
+    const auto &names = offload::criterionNames();
+
+    std::printf("%-24s", "option");
+    for (const auto &name : names)
+        std::printf(" %21s", name.c_str());
+    std::printf("\n");
+
+    for (const auto &point : points) {
+        std::printf("%-24s", point.option.c_str());
+        for (double score : point.scores)
+            std::printf(" %21.1f", score);
+        std::printf("\n");
+    }
+
+    std::printf(
+        "\nPaper shape: CPU is universally flexible but collapses\n"
+        "under LLC contention; SmartNIC autonomous offload is fast\n"
+        "but loses under drops and handles only size-preserving ULPs;\n"
+        "PCIe cards keep flexibility but pay fine-grain offload taxes;\n"
+        "SmartDIMM keeps high scores across the board.\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Sec. IV-A microbenchmark: flushing a 4 KB buffer is ~50% faster
+ * when the data already resides in DRAM (nothing dirty to write
+ * back) than when it sits modified in the LLC — the reason CompCpy's
+ * sbuf flush is cheap when offload is enabled under contention.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+
+using namespace sd;
+
+namespace {
+
+/** Flush one page and return elapsed ticks. */
+Tick
+flushPage(bench::DeviceRig &rig, Addr page)
+{
+    const Tick start = rig.events.now();
+    rig.memory->flushSync(page, kPageSize);
+    return rig.events.now() - start;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Flush microbenchmark (Sec. IV-A)",
+                  "clflush of 4 KB: cached-dirty vs already-in-DRAM");
+
+    bench::DeviceRig rig;
+    Rng rng(5);
+    std::vector<std::uint8_t> data(kPageSize);
+
+    double dirty_ns = 0;
+    double clean_ns = 0;
+    constexpr int kTrials = 32;
+    for (int t = 0; t < kTrials; ++t) {
+        const Addr page = (1ULL << 20) + static_cast<Addr>(t) * kPageSize;
+
+        // Case 1: page dirty in the LLC (just written by the app).
+        rng.fill(data.data(), data.size());
+        rig.memory->writeSync(page, data.data(), data.size());
+        dirty_ns += static_cast<double>(flushPage(rig, page)) / 1e3;
+
+        // Case 2: page already in DRAM (previously flushed; cache
+        // holds nothing for it).
+        clean_ns += static_cast<double>(flushPage(rig, page)) / 1e3;
+    }
+    dirty_ns /= kTrials;
+    clean_ns /= kTrials;
+
+    std::printf("flush 4KB, lines dirty in LLC : %8.1f ns\n", dirty_ns);
+    std::printf("flush 4KB, data already in DRAM: %8.1f ns\n", clean_ns);
+    std::printf("speedup when already in DRAM  : %8.1f%%\n",
+                (1.0 - clean_ns / dirty_ns) * 100.0);
+    std::printf("\nPaper anchor: ~50%% faster when the data is already\n"
+                "in DRAM — the common case when offload is enabled\n"
+                "under LLC contention.\n");
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Sec. VII-D: power and area of the SmartDIMM buffer device. Runs a
+ * TLS offload stream through the device model, feeds the activity
+ * counters to the analytic energy model, and reports the dynamic
+ * power at the observed channel utilisation, the extrapolated power
+ * at full channel rate, and the FPGA fabric shares.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "smartdimm/power_model.h"
+
+using namespace sd;
+
+int
+main()
+{
+    bench::header("Power & Area (Sec. VII-D)",
+                  "buffer-device power at observed and full channel "
+                  "utilisation");
+
+    bench::DeviceRig rig;
+    Rng rng(3);
+    constexpr std::size_t kMsg = 16384;
+    constexpr int kOffloads = 60;
+
+    const Tick start = rig.events.now();
+    std::uint64_t message_id = 1;
+    for (int i = 0; i < kOffloads; ++i) {
+        const Addr sbuf =
+            (1ULL << 20) + static_cast<Addr>(i) * 16 * kPageSize;
+        const Addr dbuf = sbuf + 8 * kPageSize;
+        std::vector<std::uint8_t> data(kMsg);
+        rng.fill(data.data(), data.size());
+        rig.memory->writeSync(sbuf, data.data(), data.size());
+
+        compcpy::CompCpyParams params;
+        params.sbuf = sbuf;
+        params.dbuf = dbuf;
+        params.size = kMsg;
+        params.ulp = smartdimm::UlpKind::kTlsEncrypt;
+        params.message_id = message_id++;
+        rng.fill(params.key, sizeof(params.key));
+        rng.fill(params.iv.data(), params.iv.size());
+        rig.engine.run(params);
+        rig.engine.useSync(dbuf, kMsg + kPageSize);
+    }
+    const Tick window = rig.events.now() - start;
+
+    const auto report = smartdimm::estimatePower(
+        rig.dimm, window, rig.memory->dramBytes());
+
+    std::printf("%-26s %10s %12s\n", "component", "watts", "fabric_%");
+    for (const auto &row : report.rows)
+        std::printf("%-26s %10.3f %12.1f\n", row.component.c_str(),
+                    row.watts, row.fpga_luts_pct);
+    std::printf("%-26s %10.3f %12.1f\n", "total", report.dynamic_watts,
+                report.fpga_resources_pct);
+    std::printf("\nchannel utilisation during offload: %.1f%%\n",
+                report.channel_utilization * 100.0);
+    std::printf("extrapolated dynamic power at 100%% channel: %.2f W\n",
+                smartdimm::peakDynamicWatts());
+    std::printf(
+        "\nPaper anchors: 4.78 W dynamic at full channel utilisation;\n"
+        "<30%% channel utilisation during TLS offload; ~0.92 W average\n"
+        "power increase; TLS offload uses ~21.8%% of the FPGA fabric.\n");
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Quickstart: bring up a simulated single-channel system with a
+ * SmartDIMM behind the memory controller, offload the encryption of
+ * one TLS record with CompCpy, and verify the bytes that land in
+ * simulated DRAM against a software AES-GCM reference.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "cache/memory_system.h"
+#include "common/random.h"
+#include "compcpy/compcpy.h"
+#include "compcpy/driver.h"
+#include "crypto/aes_gcm.h"
+#include "sim/event_queue.h"
+#include "smartdimm/buffer_device.h"
+
+using namespace sd;
+
+int
+main()
+{
+    std::printf("SmartDIMM quickstart\n====================\n\n");
+
+    // 1. The simulated platform: one DDR4 channel terminated by a
+    //    SmartDIMM buffer device, fronted by a 32 MB LLC.
+    EventQueue events;
+    mem::BackingStore dram;
+    mem::DramGeometry geometry;
+    geometry.channels = 1;
+    mem::AddressMap map(geometry, mem::ChannelInterleave::kNone);
+    smartdimm::BufferDevice smartdimm_device(events, map, dram);
+
+    cache::CacheConfig llc;
+    llc.size_bytes = 32ull << 20;
+    cache::MemorySystem memory(events, geometry,
+                               mem::ChannelInterleave::kNone, llc,
+                               {&smartdimm_device});
+
+    // 2. The software stack: driver-managed buffers + CompCpy engine.
+    compcpy::Driver driver(/*base=*/1ULL << 20, /*bytes=*/256ULL << 20);
+    compcpy::CompCpyEngine::SharedState shared;
+    compcpy::CompCpyEngine compcpy(memory, driver, shared);
+
+    // 3. A 4 KB plaintext record and its key material.
+    Rng rng(2024);
+    std::vector<std::uint8_t> plaintext(4096);
+    rng.fill(plaintext.data(), plaintext.size());
+    std::uint8_t key[16];
+    rng.fill(key, sizeof(key));
+    crypto::GcmIv iv{};
+    rng.fill(iv.data(), iv.size());
+
+    // 4. Stage the plaintext and CompCpy it: the copy *is* the
+    //    offload — the DSA encrypts inline as the data crosses the
+    //    DDR channel.
+    const Addr sbuf = driver.alloc(4096);
+    const Addr dbuf = driver.alloc(8192); // room for the tag trailer
+    memory.writeSync(sbuf, plaintext.data(), plaintext.size());
+
+    compcpy::CompCpyParams params;
+    params.sbuf = sbuf;
+    params.dbuf = dbuf;
+    params.size = plaintext.size();
+    params.ulp = smartdimm::UlpKind::kTlsEncrypt;
+    params.message_id = 1;
+    std::memcpy(params.key, key, sizeof(key));
+    params.iv = iv;
+    compcpy.run(params);
+
+    // 5. USE(dbuf): flush so the Scratchpad self-recycles into DRAM,
+    //    then read the record body (ciphertext || tag) back.
+    compcpy.useSync(dbuf, 8192);
+    const auto record = compcpy.readResult(dbuf, plaintext.size() + 16);
+
+    // 6. Verify against the software reference.
+    crypto::GcmContext reference(key, crypto::Aes::KeySize::k128);
+    std::vector<std::uint8_t> expected(plaintext.size());
+    const crypto::GcmTag tag = reference.encrypt(
+        iv, plaintext.data(), plaintext.size(), expected.data());
+
+    const bool cipher_ok =
+        std::memcmp(record.data(), expected.data(), expected.size()) == 0;
+    const bool tag_ok =
+        std::memcmp(record.data() + expected.size(), tag.data(), 16) == 0;
+
+    std::printf("ciphertext matches software AES-GCM : %s\n",
+                cipher_ok ? "yes" : "NO");
+    std::printf("trailer tag matches                  : %s\n",
+                tag_ok ? "yes" : "NO");
+
+    const auto &arb = smartdimm_device.stats();
+    std::printf("\ndevice activity:\n");
+    std::printf("  sbuf rdCAS fed to the DSA : %llu\n",
+                static_cast<unsigned long long>(arb.sbuf_reads));
+    std::printf("  self-recycle drains       : %llu\n",
+                static_cast<unsigned long long>(arb.dbuf_recycles));
+    std::printf("  ALERT_N retries           : %llu\n",
+                static_cast<unsigned long long>(arb.alert_n));
+    std::printf("  scratchpad pages live     : %zu\n",
+                smartdimm_device.scratchpad().livePages());
+    std::printf("\nsimulated time: %.2f us\n",
+                static_cast<double>(events.now()) / 1e6);
+    return cipher_ok && tag_ok ? 0 : 1;
+}

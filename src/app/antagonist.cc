@@ -1,0 +1,38 @@
+#include "app/antagonist.h"
+
+#include <numeric>
+
+#include "common/log.h"
+#include "common/types.h"
+
+namespace sd::app {
+
+McfLikeAntagonist::McfLikeAntagonist(std::size_t working_set_bytes,
+                                     std::uint64_t seed)
+{
+    const std::size_t nodes =
+        std::max<std::size_t>(working_set_bytes / kCacheLineSize, 2);
+    next_.resize(nodes);
+    std::iota(next_.begin(), next_.end(), 0);
+    // Sattolo's algorithm: a single cycle through all nodes, so the
+    // chase never short-circuits into a small loop.
+    Rng rng(seed);
+    for (std::size_t i = nodes - 1; i > 0; --i) {
+        const std::size_t j = rng.below(i);
+        std::swap(next_[i], next_[j]);
+    }
+}
+
+void
+McfLikeAntagonist::walk(cache::Cache &llc, std::size_t steps)
+{
+    for (std::size_t s = 0; s < steps; ++s) {
+        const Addr addr = static_cast<Addr>(cursor_) * kCacheLineSize;
+        llc.access(addr, /*is_write=*/(s & 7) == 0,
+                   cache::AllocClass::kCpu);
+        cursor_ = next_[cursor_];
+        ++visited_;
+    }
+}
+
+} // namespace sd::app

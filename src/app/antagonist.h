@@ -1,0 +1,53 @@
+/**
+ * @file
+ * mcf-like cache antagonist: a pointer-chasing walker over a large
+ * working set, the stand-in for SPEC CPU2017 505.mcf in the Table I
+ * isolation study. Exposes both a functional walker (for cache-model
+ * experiments) and its bandwidth/footprint profile (for the server
+ * fixed point).
+ */
+
+#ifndef SD_APP_ANTAGONIST_H
+#define SD_APP_ANTAGONIST_H
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache.h"
+#include "common/random.h"
+
+namespace sd::app {
+
+/**
+ * Pointer-chasing antagonist. The chase order is a random permutation
+ * so hardware-prefetch-like locality cannot hide the misses — the
+ * same reason mcf is memory-bound.
+ */
+class McfLikeAntagonist
+{
+  public:
+    /**
+     * @param working_set_bytes footprint (mcf: ~0.5-2 GB; scaled
+     *        versions used for cache-model probes)
+     */
+    McfLikeAntagonist(std::size_t working_set_bytes, std::uint64_t seed);
+
+    /** Walk @p steps nodes through the given cache model. */
+    void walk(cache::Cache &llc, std::size_t steps);
+
+    /** Nodes visited so far (progress metric for slowdown studies). */
+    std::uint64_t visited() const { return visited_; }
+
+    /** Demand bandwidth of one real mcf instance (GB/s), for the
+     *  analytic fixed point: mcf sustains ~2-4 GB/s of misses. */
+    static constexpr double kDemandBandwidthGbps = 2.8;
+
+  private:
+    std::vector<std::uint32_t> next_; ///< permutation chase
+    std::size_t cursor_ = 0;
+    std::uint64_t visited_ = 0;
+};
+
+} // namespace sd::app
+
+#endif // SD_APP_ANTAGONIST_H

@@ -1,0 +1,175 @@
+#include "cache/cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace sd::cache {
+
+Cache::Cache(const CacheConfig &config)
+    : config_(config), cpu_ways_(std::min(config.cpu_ways, config.ways)),
+      lines_(config.sets() * config.ways),
+      data_(lines_.size() * kCacheLineSize, 0)
+{
+    SD_ASSERT(config.sets() > 0, "cache smaller than one set");
+    SD_ASSERT(config.ddio_ways <= config.ways,
+              "DDIO ways exceed associativity");
+}
+
+std::size_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr / kCacheLineSize) % config_.sets();
+}
+
+Cache::Line *
+Cache::find(Addr addr)
+{
+    const Addr line = lineAlign(addr);
+    Line *set = lines_.data() + setIndex(line) * config_.ways;
+    for (unsigned w = 0; w < config_.ways; ++w)
+        if (set[w].valid && set[w].tag == line)
+            return set + w;
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::find(Addr addr) const
+{
+    return const_cast<Cache *>(this)->find(addr);
+}
+
+AccessResult
+Cache::access(Addr addr, bool is_write, AllocClass cls,
+              bool full_line_store)
+{
+    const Addr line_addr = lineAlign(addr);
+    AccessResult result;
+
+    if (Line *line = find(line_addr)) {
+        ++stats_.hits;
+        ++probe_hits_;
+        line->lru = ++lru_clock_;
+        line->dirty |= is_write;
+        result.hit = true;
+        return result;
+    }
+
+    ++stats_.misses;
+    ++probe_misses_;
+
+    // Victim selection restricted to the class's eligible ways.
+    // CPU class uses ways [0, cpu_ways); DDIO uses the last ddio_ways
+    // ways, mirroring Intel's restricted-allocation scheme.
+    unsigned lo;
+    unsigned hi;
+    if (cls == AllocClass::kDdio) {
+        lo = config_.ways - config_.ddio_ways;
+        hi = config_.ways;
+    } else {
+        lo = 0;
+        hi = std::max(1u, cpu_ways_);
+    }
+
+    Line *set = lines_.data() + setIndex(line_addr) * config_.ways;
+    Line *victim = set + lo;
+    for (unsigned w = lo; w < hi; ++w) {
+        if (!set[w].valid) {
+            victim = set + w;
+            break;
+        }
+        if (set[w].lru < victim->lru)
+            victim = set + w;
+    }
+
+    if (victim->valid && victim->dirty) {
+        result.writeback = victim->tag;
+        const std::size_t slot =
+            static_cast<std::size_t>(victim - lines_.data());
+        std::memcpy(result.writeback_data.data(),
+                    data_.data() + slot * kCacheLineSize, kCacheLineSize);
+        ++stats_.writebacks;
+    }
+
+    victim->tag = line_addr;
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->lru = ++lru_clock_;
+    ++stats_.fills;
+    result.filled = !(is_write && full_line_store);
+    return result;
+}
+
+Cache::FlushResult
+Cache::flush(Addr addr)
+{
+    ++stats_.flushes;
+    FlushResult result;
+    if (Line *line = find(addr)) {
+        result.present = true;
+        result.dirty = line->dirty;
+        if (line->dirty) {
+            ++stats_.flush_dirty;
+            const std::size_t slot =
+                static_cast<std::size_t>(line - lines_.data());
+            std::memcpy(result.data.data(),
+                        data_.data() + slot * kCacheLineSize,
+                        kCacheLineSize);
+        }
+        line->valid = false;
+        line->dirty = false;
+    }
+    return result;
+}
+
+std::uint8_t *
+Cache::dataPtr(Addr addr)
+{
+    Line *line = find(addr);
+    if (!line)
+        return nullptr;
+    const std::size_t slot = static_cast<std::size_t>(line - lines_.data());
+    return data_.data() + slot * kCacheLineSize;
+}
+
+const std::uint8_t *
+Cache::dataPtr(Addr addr) const
+{
+    return const_cast<Cache *>(this)->dataPtr(addr);
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    return find(addr) != nullptr;
+}
+
+bool
+Cache::isDirty(Addr addr) const
+{
+    const Line *line = find(addr);
+    return line != nullptr && line->dirty;
+}
+
+void
+Cache::setCpuWays(unsigned ways)
+{
+    SD_ASSERT(ways >= 1 && ways <= config_.ways, "CAT mask out of range");
+    cpu_ways_ = ways;
+}
+
+double
+Cache::probeMissRate()
+{
+    const auto total = probe_hits_ + probe_misses_;
+    const double rate =
+        total ? static_cast<double>(probe_misses_) /
+                    static_cast<double>(total)
+              : 0.0;
+    probe_hits_ = 0;
+    probe_misses_ = 0;
+    return rate;
+}
+
+} // namespace sd::cache

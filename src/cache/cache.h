@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Set-associative writeback last-level cache with way partitioning
+ * (Intel CAT analogue) and DDIO-style restricted allocation for device
+ * DMA. This produces the two behaviours the paper leans on:
+ * leak-to-DRAM under contention (Obs. 3 / Fig. 3) and the LLC
+ * writebacks that self-recycle SmartDIMM's scratchpad (Fig. 10).
+ */
+
+#ifndef SD_CACHE_CACHE_H
+#define SD_CACHE_CACHE_H
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sd::cache {
+
+/** Who is allocating: decides which ways are eligible (CAT masks). */
+enum class AllocClass : std::uint8_t
+{
+    kCpu,  ///< demand accesses from cores
+    kDdio, ///< device DMA (NIC/storage): restricted ways
+};
+
+/** Cache geometry and partitioning. */
+struct CacheConfig
+{
+    std::size_t size_bytes = 32ULL << 20; ///< Xeon 6242: ~22-32 MB class
+    unsigned ways = 16;
+    unsigned ddio_ways = 2;  ///< DDIO allocation limit (Intel default 2)
+    unsigned cpu_ways = 16;  ///< CAT mask width for CPU class
+
+    std::size_t
+    sets() const
+    {
+        return size_bytes / (static_cast<std::size_t>(ways) *
+                             kCacheLineSize);
+    }
+};
+
+/** Aggregate statistics plus a windowed miss-rate probe. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t fills = 0;
+    std::uint64_t flushes = 0;
+    std::uint64_t flush_dirty = 0;
+
+    double
+    missRate() const
+    {
+        const auto total = hits + misses;
+        return total ? static_cast<double>(misses) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+/** Outcome of a single cache access. */
+struct AccessResult
+{
+    bool hit = false;
+    /** Dirty victim evicted by the fill (needs a memory write). */
+    std::optional<Addr> writeback;
+    /** The victim's data, valid when writeback is set. */
+    std::array<std::uint8_t, kCacheLineSize> writeback_data{};
+    /** Line was filled (miss) and needs a memory read first, unless
+     *  the caller installs full-line data (store of a whole line). */
+    bool filled = false;
+};
+
+/**
+ * The LLC model. Data does not live here — the simulator keeps data in
+ * the memory BackingStore and treats cached dirty lines as "newer than
+ * memory" only where the experiment needs it (CompCpy tracks its own
+ * buffers). The cache tracks tags, dirtiness and LRU exactly.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Access one line.
+     * @param addr line-aligned physical address
+     * @param is_write marks the line dirty
+     * @param cls allocation class (CAT/DDIO mask)
+     * @param full_line_store when true, a write miss allocates without
+     *        a memory fetch (ItoM / full-line-store optimisation used
+     *        by optimised memcpy)
+     */
+    AccessResult access(Addr addr, bool is_write, AllocClass cls,
+                        bool full_line_store = false);
+
+    /**
+     * clflush semantics: invalidate the line, returning its address if
+     * it was dirty (caller must write it back). @return {present,
+     * was_dirty}.
+     */
+    struct FlushResult
+    {
+        bool present = false;
+        bool dirty = false;
+        /** The line's data, valid when dirty (caller writes it back). */
+        std::array<std::uint8_t, kCacheLineSize> data{};
+    };
+    FlushResult flush(Addr addr);
+
+    /**
+     * Pointer to the 64 bytes cached for @p addr, or nullptr when the
+     * line is absent. Valid until the next access()/flush().
+     */
+    std::uint8_t *dataPtr(Addr addr);
+    const std::uint8_t *dataPtr(Addr addr) const;
+
+    /** @return true if the line currently resides in the cache. */
+    bool contains(Addr addr) const;
+
+    /** @return true if present and dirty. */
+    bool isDirty(Addr addr) const;
+
+    /** Shrink/grow the CPU-class way allocation at runtime (CAT). */
+    void setCpuWays(unsigned ways);
+    unsigned cpuWays() const { return cpu_ways_; }
+
+    const CacheConfig &config() const { return config_; }
+    const CacheStats &stats() const { return stats_; }
+    void resetStats() { stats_ = CacheStats{}; }
+
+    /**
+     * Windowed miss-rate probe (the software stack's LLC contention
+     * signal, Sec. V-C): miss rate since the last probe call.
+     */
+    double probeMissRate();
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lru = 0;
+    };
+
+    std::size_t setIndex(Addr addr) const;
+    Line *find(Addr addr);
+    const Line *find(Addr addr) const;
+
+    CacheConfig config_;
+    unsigned cpu_ways_;
+    std::vector<Line> lines_; ///< sets x ways, row-major
+    std::vector<std::uint8_t> data_; ///< 64 B per line slot
+    std::uint64_t lru_clock_ = 0;
+    CacheStats stats_;
+    std::uint64_t probe_hits_ = 0;
+    std::uint64_t probe_misses_ = 0;
+};
+
+} // namespace sd::cache
+
+#endif // SD_CACHE_CACHE_H

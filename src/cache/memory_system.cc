@@ -1,0 +1,196 @@
+#include "cache/memory_system.h"
+
+#include <cstring>
+
+#include "common/log.h"
+
+namespace sd::cache {
+
+MemorySystem::MemorySystem(EventQueue &events,
+                           const mem::DramGeometry &geometry,
+                           mem::ChannelInterleave interleave,
+                           const CacheConfig &cache_config,
+                           std::vector<mem::DimmDevice *> devices,
+                           const mem::DramTiming &timing,
+                           const mem::ControllerConfig &mc_config,
+                           const HostLatencies &latencies)
+    : events_(events), map_(geometry, interleave), llc_(cache_config),
+      latencies_(latencies)
+{
+    SD_ASSERT(devices.size() == geometry.channels,
+              "need exactly one device per channel");
+    for (unsigned ch = 0; ch < geometry.channels; ++ch)
+        controllers_.push_back(std::make_unique<mem::MemoryController>(
+            events_, map_, timing, mc_config, ch, *devices[ch]));
+}
+
+mem::MemoryController &
+MemorySystem::controller(unsigned channel)
+{
+    SD_ASSERT(channel < controllers_.size(), "channel out of range");
+    return *controllers_[channel];
+}
+
+mem::MemoryController &
+MemorySystem::route(Addr addr)
+{
+    return *controllers_[map_.decompose(addr).channel];
+}
+
+std::uint64_t
+MemorySystem::dramBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &mc : controllers_)
+        total += mc->stats().bytesMoved();
+    return total;
+}
+
+void
+MemorySystem::writebackVictim(const AccessResult &result)
+{
+    if (result.writeback)
+        route(*result.writeback)
+            .enqueueWrite(*result.writeback, result.writeback_data.data());
+}
+
+void
+MemorySystem::readLine(Addr addr, std::uint8_t *dst, Callback cb)
+{
+    const Addr line = lineAlign(addr);
+    const auto result = llc_.access(line, false, AllocClass::kCpu);
+    if (result.hit) {
+        std::memcpy(dst, llc_.dataPtr(line), kCacheLineSize);
+        events_.scheduleIn(latencies_.llc_hit,
+                           [cb, this] { cb(events_.now()); });
+        return;
+    }
+    writebackVictim(result);
+    // Fetch from DRAM; install into the already-allocated line, then
+    // hand the bytes to the caller.
+    auto fill = std::make_shared<std::array<std::uint8_t, kCacheLineSize>>();
+    route(line).enqueueRead(line, fill->data(),
+                            [this, line, dst, fill, cb](Tick at) {
+        if (std::uint8_t *slot = llc_.dataPtr(line))
+            std::memcpy(slot, fill->data(), kCacheLineSize);
+        std::memcpy(dst, fill->data(), kCacheLineSize);
+        cb(at);
+    });
+}
+
+void
+MemorySystem::writeLine(Addr addr, const std::uint8_t *src, Callback cb)
+{
+    const Addr line = lineAlign(addr);
+    const auto result =
+        llc_.access(line, true, AllocClass::kCpu, /*full_line_store=*/true);
+    writebackVictim(result);
+    if (std::uint8_t *slot = llc_.dataPtr(line))
+        std::memcpy(slot, src, kCacheLineSize);
+    events_.scheduleIn(latencies_.store_commit,
+                       [cb, this] { cb(events_.now()); });
+}
+
+void
+MemorySystem::flushLine(Addr addr, Callback cb)
+{
+    const Addr line = lineAlign(addr);
+    const auto result = llc_.flush(line);
+    if (result.dirty) {
+        route(line).enqueueWrite(line, result.data.data(),
+                                 [cb](Tick at) { cb(at); });
+        return;
+    }
+    events_.scheduleIn(latencies_.flush_clean,
+                       [cb, this] { cb(events_.now()); });
+}
+
+void
+MemorySystem::mmioWrite(Addr addr, const std::uint8_t *src, Callback cb)
+{
+    route(addr).enqueueWrite(lineAlign(addr), src,
+                             [cb](Tick at) { cb(at); });
+}
+
+void
+MemorySystem::mmioRead(Addr addr, std::uint8_t *dst, Callback cb)
+{
+    route(addr).enqueueRead(lineAlign(addr), dst,
+                            [cb](Tick at) { cb(at); });
+}
+
+void
+MemorySystem::dmaWriteLine(Addr addr, const std::uint8_t *src, Callback cb)
+{
+    // DDIO: the device write allocates into the restricted LLC ways;
+    // under contention the line may be evicted to DRAM before use.
+    const Addr line = lineAlign(addr);
+    const auto result =
+        llc_.access(line, true, AllocClass::kDdio, /*full_line_store=*/true);
+    writebackVictim(result);
+    if (std::uint8_t *slot = llc_.dataPtr(line))
+        std::memcpy(slot, src, kCacheLineSize);
+    events_.scheduleIn(latencies_.store_commit,
+                       [cb, this] { cb(events_.now()); });
+}
+
+void
+MemorySystem::dmaReadLine(Addr addr, std::uint8_t *dst, Callback cb)
+{
+    // Device reads snoop the LLC (hit: serve from cache) and otherwise
+    // fetch from DRAM without allocating.
+    const Addr line = lineAlign(addr);
+    if (const std::uint8_t *slot = llc_.dataPtr(line)) {
+        std::memcpy(dst, slot, kCacheLineSize);
+        events_.scheduleIn(latencies_.llc_hit,
+                           [cb, this] { cb(events_.now()); });
+        return;
+    }
+    route(line).enqueueRead(line, dst, [cb](Tick at) { cb(at); });
+}
+
+void
+MemorySystem::drain()
+{
+    events_.run();
+}
+
+void
+MemorySystem::readSync(Addr addr, std::uint8_t *dst, std::size_t len)
+{
+    SD_ASSERT(isLineAligned(addr) && len % kCacheLineSize == 0,
+              "sync ops are line-granular");
+    for (std::size_t off = 0; off < len; off += kCacheLineSize) {
+        bool done = false;
+        readLine(addr + off, dst + off, [&done](Tick) { done = true; });
+        while (!done)
+            events_.run();
+    }
+}
+
+void
+MemorySystem::writeSync(Addr addr, const std::uint8_t *src, std::size_t len)
+{
+    SD_ASSERT(isLineAligned(addr) && len % kCacheLineSize == 0,
+              "sync ops are line-granular");
+    for (std::size_t off = 0; off < len; off += kCacheLineSize) {
+        bool done = false;
+        writeLine(addr + off, src + off, [&done](Tick) { done = true; });
+        while (!done)
+            events_.run();
+    }
+}
+
+void
+MemorySystem::flushSync(Addr addr, std::size_t len)
+{
+    for (Addr line = lineAlign(addr); line < addr + len;
+         line += kCacheLineSize) {
+        bool done = false;
+        flushLine(line, [&done](Tick) { done = true; });
+        while (!done)
+            events_.run();
+    }
+}
+
+} // namespace sd::cache

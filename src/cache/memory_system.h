@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The host-side memory system: LLC in front of one or more DDR4
+ * channels, each terminated by a DIMM device (plain or SmartDIMM).
+ * Offers the line-granular operations the software stack performs —
+ * cached loads/stores, clflush, uncached MMIO, and device DMA with
+ * DDIO allocation — in both callback (event-driven) and synchronous
+ * (run-to-completion) forms.
+ */
+
+#ifndef SD_CACHE_MEMORY_SYSTEM_H
+#define SD_CACHE_MEMORY_SYSTEM_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cache/cache.h"
+#include "common/types.h"
+#include "mem/address_map.h"
+#include "mem/backing_store.h"
+#include "mem/dram_command.h"
+#include "mem/memory_controller.h"
+#include "sim/clock.h"
+#include "sim/event_queue.h"
+
+namespace sd::cache {
+
+/** Fixed host-side latencies (ticks = ps). */
+struct HostLatencies
+{
+    Tick llc_hit = 14'000;     ///< ~14 ns LLC round trip
+    Tick flush_clean = 4'000;  ///< clflush of an absent/clean line
+    Tick store_commit = 2'000; ///< store visible to the cache
+};
+
+/** A plain (non-accelerating) DIMM: DRAM backed by the BackingStore. */
+class PlainDimm : public mem::DimmDevice
+{
+  public:
+    explicit PlainDimm(mem::BackingStore &store) : store_(store) {}
+
+    void onCommand(const mem::DdrCommand &) override {}
+
+    mem::ReadResponse
+    onRead(const mem::DdrCommand &cmd, std::uint8_t *data) override
+    {
+        store_.read(cmd.addr, data, kCacheLineSize);
+        return mem::ReadResponse::kOk;
+    }
+
+    void
+    onWrite(const mem::DdrCommand &cmd, const std::uint8_t *data) override
+    {
+        store_.write(cmd.addr, data, kCacheLineSize);
+    }
+
+  private:
+    mem::BackingStore &store_;
+};
+
+/**
+ * Host memory system. Channel devices are supplied by the caller so
+ * SmartDIMM buffer devices can be slotted in for any subset of
+ * channels.
+ */
+class MemorySystem
+{
+  public:
+    using Callback = std::function<void(Tick)>;
+
+    /**
+     * @param devices one DimmDevice per channel (geometry.channels)
+     */
+    MemorySystem(EventQueue &events, const mem::DramGeometry &geometry,
+                 mem::ChannelInterleave interleave,
+                 const CacheConfig &cache_config,
+                 std::vector<mem::DimmDevice *> devices,
+                 const mem::DramTiming &timing = {},
+                 const mem::ControllerConfig &mc_config = {},
+                 const HostLatencies &latencies = {});
+
+    // ----- cached (CPU) path ------------------------------------------------
+
+    /** Load one line through the LLC into @p dst. */
+    void readLine(Addr addr, std::uint8_t *dst, Callback cb);
+
+    /**
+     * Store one full line through the LLC (full-line stores allocate
+     * without fetching, as optimised memcpy does).
+     */
+    void writeLine(Addr addr, const std::uint8_t *src, Callback cb);
+
+    /** clflush: writeback-if-dirty + invalidate. */
+    void flushLine(Addr addr, Callback cb);
+
+    // ----- uncached paths ---------------------------------------------------
+
+    /** Uncached 64 B MMIO write (SmartDIMM config registers). */
+    void mmioWrite(Addr addr, const std::uint8_t *src, Callback cb);
+
+    /** Uncached 64 B MMIO read (pending lists, freePages). */
+    void mmioRead(Addr addr, std::uint8_t *dst, Callback cb);
+
+    /** Device DMA write (DDIO: allocates into the restricted ways). */
+    void dmaWriteLine(Addr addr, const std::uint8_t *src, Callback cb);
+
+    /** Device DMA read (e.g. NIC TX fetching a payload). */
+    void dmaReadLine(Addr addr, std::uint8_t *dst, Callback cb);
+
+    // ----- synchronous conveniences ----------------------------------------
+
+    /** Run the event queue until @p pending ops complete. */
+    void drain();
+
+    /** Blocking multi-line helpers used by tests and examples. */
+    void readSync(Addr addr, std::uint8_t *dst, std::size_t len);
+    void writeSync(Addr addr, const std::uint8_t *src, std::size_t len);
+    void flushSync(Addr addr, std::size_t len);
+
+    // ----- accessors --------------------------------------------------------
+
+    Cache &llc() { return llc_; }
+    const Cache &llc() const { return llc_; }
+    mem::BackingStore &store() { return store_; }
+    EventQueue &events() { return events_; }
+    const mem::AddressMap &addressMap() const { return map_; }
+    mem::MemoryController &controller(unsigned channel);
+    unsigned channels() const
+    {
+        return static_cast<unsigned>(controllers_.size());
+    }
+
+    /** Total DRAM traffic in bytes across all channels. */
+    std::uint64_t dramBytes() const;
+
+  private:
+    mem::MemoryController &route(Addr addr);
+    void writebackVictim(const AccessResult &result);
+
+    EventQueue &events_;
+    mem::AddressMap map_;
+    Cache llc_;
+    mem::BackingStore store_;
+    HostLatencies latencies_;
+    std::vector<std::unique_ptr<mem::MemoryController>> controllers_;
+};
+
+} // namespace sd::cache
+
+#endif // SD_CACHE_MEMORY_SYSTEM_H

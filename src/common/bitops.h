@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Bit-field extraction helpers used by the DDR address mapper and the
+ * SmartDIMM slot decoder.
+ */
+
+#ifndef SD_COMMON_BITOPS_H
+#define SD_COMMON_BITOPS_H
+
+#include <cstdint>
+
+namespace sd {
+
+/** Extract bits [lo, lo+width) of @p value. */
+constexpr std::uint64_t
+bits(std::uint64_t value, unsigned lo, unsigned width)
+{
+    if (width == 0)
+        return 0;
+    if (width >= 64)
+        return value >> lo;
+    return (value >> lo) & ((1ULL << width) - 1);
+}
+
+/** Insert @p field into bits [lo, lo+width) of @p value. */
+constexpr std::uint64_t
+insertBits(std::uint64_t value, unsigned lo, unsigned width,
+           std::uint64_t field)
+{
+    const std::uint64_t mask =
+        width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+    return (value & ~(mask << lo)) | ((field & mask) << lo);
+}
+
+/** @return floor(log2(x)); x must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t x)
+{
+    unsigned r = 0;
+    while (x >>= 1)
+        ++r;
+    return r;
+}
+
+/** @return true when x is a power of two (and non-zero). */
+constexpr bool
+isPowerOf2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+} // namespace sd
+
+#endif // SD_COMMON_BITOPS_H

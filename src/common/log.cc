@@ -1,0 +1,64 @@
+#include "common/log.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sd {
+
+LogLevel &
+logLevel()
+{
+    static LogLevel level = LogLevel::kQuiet;
+    return level;
+}
+
+namespace detail {
+
+std::string
+formatMessage(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list copy;
+    va_copy(copy, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    std::string out;
+    if (needed > 0) {
+        out.resize(static_cast<std::size_t>(needed) + 1);
+        std::vsnprintf(out.data(), out.size(), fmt, args);
+        out.resize(static_cast<std::size_t>(needed));
+    }
+    va_end(args);
+    return out;
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+warnImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+} // namespace sd

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Minimal gem5-flavoured diagnostics: panic() for internal invariant
+ * violations, fatal() for user/configuration errors, warn()/inform()
+ * for status messages. All writers go to stderr so bench harnesses can
+ * keep stdout machine-parsable.
+ */
+
+#ifndef SD_COMMON_LOG_H
+#define SD_COMMON_LOG_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace sd {
+
+/** Verbosity levels for the optional inform() channel. */
+enum class LogLevel { kQuiet = 0, kInfo = 1, kDebug = 2 };
+
+/** Process-wide verbosity; benches default to quiet. */
+LogLevel &logLevel();
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const char *file, int line, const std::string &msg);
+void informImpl(const std::string &msg);
+
+std::string formatMessage(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+/** Abort on a simulator bug: a condition that must never happen. */
+#define SD_PANIC(...) \
+    ::sd::detail::panicImpl(__FILE__, __LINE__, \
+                            ::sd::detail::formatMessage(__VA_ARGS__))
+
+/** Exit on a user-caused error (bad configuration, invalid argument). */
+#define SD_FATAL(...) \
+    ::sd::detail::fatalImpl(__FILE__, __LINE__, \
+                            ::sd::detail::formatMessage(__VA_ARGS__))
+
+/** Non-fatal warning about questionable behaviour. */
+#define SD_WARN(...) \
+    ::sd::detail::warnImpl(__FILE__, __LINE__, \
+                           ::sd::detail::formatMessage(__VA_ARGS__))
+
+/** Informational status message (suppressed at LogLevel::kQuiet). */
+#define SD_INFORM(...) \
+    do { \
+        if (::sd::logLevel() >= ::sd::LogLevel::kInfo) \
+            ::sd::detail::informImpl( \
+                ::sd::detail::formatMessage(__VA_ARGS__)); \
+    } while (0)
+
+/** Assert an invariant; compiled in all build types. */
+#define SD_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::sd::detail::warnImpl(__FILE__, __LINE__, \
+                ::sd::detail::formatMessage(__VA_ARGS__)); \
+            ::sd::detail::panicImpl(__FILE__, __LINE__, \
+                std::string("assertion failed: ") + #cond); \
+        } \
+    } while (0)
+
+} // namespace sd
+
+#endif // SD_COMMON_LOG_H

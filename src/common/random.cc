@@ -1,0 +1,130 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace sd {
+
+namespace {
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+std::uint64_t
+Rng::splitMix(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : state_)
+        word = splitMix(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::below(std::uint64_t bound)
+{
+    SD_ASSERT(bound > 0, "Rng::below requires a positive bound");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::uint64_t
+Rng::range(std::uint64_t lo, std::uint64_t hi)
+{
+    SD_ASSERT(lo <= hi, "Rng::range requires lo <= hi");
+    return lo + below(hi - lo + 1);
+}
+
+double
+Rng::uniform()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+double
+Rng::exponential(double mean)
+{
+    double u = uniform();
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    return -mean * std::log(u);
+}
+
+std::uint64_t
+Rng::zipf(std::uint64_t n, double s)
+{
+    SD_ASSERT(n > 0, "zipf requires a non-empty domain");
+    // Inverse-CDF over a truncated harmonic series; adequate for
+    // workload skew where n is modest (object catalogues).
+    double h = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i)
+        h += 1.0 / std::pow(static_cast<double>(i), s);
+    double target = uniform() * h;
+    double acc = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+        acc += 1.0 / std::pow(static_cast<double>(i), s);
+        if (acc >= target)
+            return i - 1;
+    }
+    return n - 1;
+}
+
+void
+Rng::fill(std::uint8_t *dst, std::size_t len)
+{
+    std::size_t i = 0;
+    while (i + 8 <= len) {
+        const std::uint64_t word = next();
+        for (int b = 0; b < 8; ++b)
+            dst[i++] = static_cast<std::uint8_t>(word >> (8 * b));
+    }
+    if (i < len) {
+        const std::uint64_t word = next();
+        for (int b = 0; i < len; ++b)
+            dst[i++] = static_cast<std::uint8_t>(word >> (8 * b));
+    }
+}
+
+} // namespace sd

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**) so every
+ * experiment is reproducible from a seed. Not cryptographic.
+ */
+
+#ifndef SD_COMMON_RANDOM_H
+#define SD_COMMON_RANDOM_H
+
+#include <cstdint>
+
+namespace sd {
+
+/**
+ * Deterministic PRNG with a small state, suitable for workload
+ * generation and loss injection. Implements xoshiro256**.
+ */
+class Rng
+{
+  public:
+    /** Seed the generator; identical seeds give identical streams. */
+    explicit Rng(std::uint64_t seed = 0x5d15'7ead'cafe'f00dULL);
+
+    /** @return the next 64 random bits. */
+    std::uint64_t next();
+
+    /** @return a uniform integer in [0, bound). @p bound must be > 0. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** @return a uniform integer in [lo, hi]. */
+    std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+    /** @return a uniform double in [0, 1). */
+    double uniform();
+
+    /** @return true with probability @p p. */
+    bool chance(double p);
+
+    /** Sample an exponential distribution with the given mean. */
+    double exponential(double mean);
+
+    /**
+     * Sample a bounded Zipf-like distribution over [0, n) with skew
+     * @p s, used for popularity-skewed object selection.
+     */
+    std::uint64_t zipf(std::uint64_t n, double s);
+
+    /** Fill @p dst with @p len pseudo-random bytes. */
+    void fill(std::uint8_t *dst, std::size_t len);
+
+  private:
+    std::uint64_t state_[4];
+
+    static std::uint64_t splitMix(std::uint64_t &x);
+};
+
+} // namespace sd
+
+#endif // SD_COMMON_RANDOM_H

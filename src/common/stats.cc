@@ -1,0 +1,102 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace sd {
+
+void
+Average::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    sum_ += v;
+    ++count_;
+}
+
+void
+Average::reset()
+{
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+    count_ = 0;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0)
+{
+    SD_ASSERT(hi > lo && buckets >= 1, "degenerate histogram bounds");
+}
+
+void
+Histogram::sample(double v)
+{
+    std::size_t idx;
+    if (v < lo_) {
+        idx = 0;
+    } else if (v >= hi_) {
+        idx = counts_.size() - 1;
+    } else {
+        idx = static_cast<std::size_t>((v - lo_) / width_);
+        idx = std::min(idx, counts_.size() - 1);
+    }
+    ++counts_[idx];
+    sum_ += v;
+    ++count_;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    sum_ = 0.0;
+    count_ = 0;
+}
+
+double
+Histogram::percentile(double q) const
+{
+    SD_ASSERT(q > 0.0 && q <= 1.0, "percentile out of range");
+    if (count_ == 0)
+        return 0.0;
+    const auto target = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        seen += counts_[i];
+        if (seen >= target)
+            return bucketLow(i) + width_;
+    }
+    return hi_;
+}
+
+void
+StatsRegistry::set(const std::string &name, double value)
+{
+    scalars_[name] = value;
+}
+
+double
+StatsRegistry::get(const std::string &name, double fallback) const
+{
+    auto it = scalars_.find(name);
+    return it == scalars_.end() ? fallback : it->second;
+}
+
+void
+StatsRegistry::dump(std::ostream &os) const
+{
+    for (const auto &[name, value] : scalars_)
+        os << name << " " << value << "\n";
+}
+
+} // namespace sd

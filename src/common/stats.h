@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Lightweight statistics primitives: scalar counters, averages and
+ * fixed-bucket histograms, plus a registry so simulator components can
+ * dump a named stats block after a run.
+ */
+
+#ifndef SD_COMMON_STATS_H
+#define SD_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sd {
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    /** Increment by @p n (default 1). */
+    void inc(std::uint64_t n = 1) { value_ += n; }
+
+    /** Reset to zero (between experiment phases). */
+    void reset() { value_ = 0; }
+
+    /** @return the current count. */
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running mean / min / max over a stream of samples. */
+class Average
+{
+  public:
+    /** Record one sample. */
+    void sample(double v);
+
+    /** Discard all samples. */
+    void reset();
+
+    /** @return number of recorded samples. */
+    std::uint64_t count() const { return count_; }
+
+    /** @return arithmetic mean, or 0 when empty. */
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+  private:
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * Linear-bucket histogram over [lo, hi); samples outside the range are
+ * clamped into the first/last bucket and counted as underflow/overflow.
+ */
+class Histogram
+{
+  public:
+    /** @param buckets number of equal-width buckets (>= 1). */
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    /** Record one sample. */
+    void sample(double v);
+
+    /** Discard all samples. */
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    /** @return value below which @p q of the samples fall (0 < q <= 1). */
+    double percentile(double q) const;
+
+    /** @return counts per bucket (for plotting). */
+    const std::vector<std::uint64_t> &buckets() const { return counts_; }
+
+    double bucketLow(std::size_t i) const { return lo_ + i * width_; }
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+    std::vector<std::uint64_t> counts_;
+};
+
+/**
+ * Named stats block: components register scalar getters and the
+ * harness dumps them at end of run, gem5-stats style.
+ */
+class StatsRegistry
+{
+  public:
+    /** Register a named scalar (latest value wins on duplicate name). */
+    void set(const std::string &name, double value);
+
+    /** @return a registered scalar, or @p fallback when absent. */
+    double get(const std::string &name, double fallback = 0.0) const;
+
+    /** Write `name value` rows sorted by name. */
+    void dump(std::ostream &os) const;
+
+    /** Drop everything. */
+    void clear() { scalars_.clear(); }
+
+  private:
+    std::map<std::string, double> scalars_;
+};
+
+} // namespace sd
+
+#endif // SD_COMMON_STATS_H

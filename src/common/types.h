@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fundamental scalar types and memory-geometry constants shared across
+ * every SmartDIMM subsystem.
+ */
+
+#ifndef SD_COMMON_TYPES_H
+#define SD_COMMON_TYPES_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sd {
+
+/** Physical or device address in bytes. */
+using Addr = std::uint64_t;
+
+/** Simulation time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Clock-domain-relative cycle count. */
+using Cycles = std::uint64_t;
+
+/** Size of one cache line / DDR burst in bytes. */
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/** Size of one OS page in bytes (SmartDIMM registration granularity). */
+inline constexpr std::size_t kPageSize = 4096;
+
+/** Cache lines per OS page. */
+inline constexpr std::size_t kLinesPerPage = kPageSize / kCacheLineSize;
+
+/** One tick per picosecond. */
+inline constexpr Tick kTicksPerSecond = 1'000'000'000'000ULL;
+
+/** Align @p addr down to the containing cache line. */
+constexpr Addr
+lineAlign(Addr addr)
+{
+    return addr & ~static_cast<Addr>(kCacheLineSize - 1);
+}
+
+/** Align @p addr down to the containing OS page. */
+constexpr Addr
+pageAlign(Addr addr)
+{
+    return addr & ~static_cast<Addr>(kPageSize - 1);
+}
+
+/** @return true when @p addr sits on a 4 KB page boundary. */
+constexpr bool
+isPageAligned(Addr addr)
+{
+    return (addr & (kPageSize - 1)) == 0;
+}
+
+/** @return true when @p addr sits on a 64 B line boundary. */
+constexpr bool
+isLineAligned(Addr addr)
+{
+    return (addr & (kCacheLineSize - 1)) == 0;
+}
+
+/** Integer ceiling division. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace sd
+
+#endif // SD_COMMON_TYPES_H

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Adaptive offload policy (Sec. V-C / Fig. 8): the software stack
+ * samples the LLC miss rate and switches ULP processing between the
+ * CPU and SmartDIMM per message. An EWMA plus hysteresis keeps the
+ * decision stable around the threshold.
+ */
+
+#ifndef SD_COMPCPY_ADAPTIVE_H
+#define SD_COMPCPY_ADAPTIVE_H
+
+#include "cache/cache.h"
+
+namespace sd::compcpy {
+
+/** Tunables for the contention probe. */
+struct AdaptiveConfig
+{
+    double threshold = 0.30;    ///< miss rate above which to offload
+    double hysteresis = 0.05;   ///< +/- band around the threshold
+    double ewma_alpha = 0.3;    ///< smoothing of probe samples
+};
+
+/** Decision state machine fed by periodic LLC probes. */
+class LlcContentionProbe
+{
+  public:
+    LlcContentionProbe(cache::Cache &llc, const AdaptiveConfig &config = {})
+        : llc_(llc), config_(config)
+    {
+    }
+
+    /**
+     * Take a probe sample and update the decision. Called
+     * periodically by the engine (each batch of requests).
+     */
+    void
+    sample()
+    {
+        const double rate = llc_.probeMissRate();
+        ewma_ = ewma_ < 0 ? rate
+                          : config_.ewma_alpha * rate +
+                                (1 - config_.ewma_alpha) * ewma_;
+        if (offload_ && ewma_ < config_.threshold - config_.hysteresis)
+            offload_ = false;
+        else if (!offload_ &&
+                 ewma_ > config_.threshold + config_.hysteresis)
+            offload_ = true;
+    }
+
+    /** Current decision: true = offload to SmartDIMM. */
+    bool shouldOffload() const { return offload_; }
+
+    /** Smoothed miss rate. */
+    double missRateEwma() const { return ewma_ < 0 ? 0.0 : ewma_; }
+
+  private:
+    cache::Cache &llc_;
+    AdaptiveConfig config_;
+    double ewma_ = -1.0;
+    bool offload_ = false;
+};
+
+} // namespace sd::compcpy
+
+#endif // SD_COMPCPY_ADAPTIVE_H

@@ -1,0 +1,324 @@
+#include "compcpy/compcpy.h"
+
+#include <cstring>
+#include <memory>
+
+#include "common/log.h"
+#include "crypto/tls_record.h"
+#include "smartdimm/deflate_dsa.h"
+
+namespace sd::compcpy {
+
+/** Continuation state of one in-flight CompCpy. */
+struct CompCpyEngine::Flow
+{
+    CompCpyParams params;
+    std::function<void()> on_done;
+    std::size_t src_pages = 0;
+    std::size_t dst_pages = 0;
+    std::size_t cursor = 0;      ///< line/page progress in each stage
+    std::size_t outstanding = 0; ///< fan-out joins
+    std::vector<std::uint8_t> line; ///< 64 B staging for the copy loop
+
+    Flow() : line(kCacheLineSize) {}
+};
+
+std::size_t
+CompCpyEngine::destPages(const CompCpyParams &params)
+{
+    if (params.ulp == smartdimm::UlpKind::kTlsEncrypt)
+        return divCeil(params.size + crypto::kTlsTagSize, kPageSize);
+    return divCeil(params.size, kPageSize);
+}
+
+void
+CompCpyEngine::start(const CompCpyParams &params,
+                     std::function<void()> on_done)
+{
+    // Alg. 2 lines 3-6: alignment checks.
+    SD_ASSERT(isPageAligned(params.dbuf) && isPageAligned(params.sbuf),
+              "CompCpy buffers must be 4 KB aligned");
+    SD_ASSERT(params.size > 0, "empty CompCpy");
+    if (params.ulp == smartdimm::UlpKind::kDeflate)
+        SD_ASSERT(params.size <= smartdimm::kDeflateMaxPayload,
+                  "deflate offloads are page-granular");
+
+    auto flow = std::make_shared<Flow>();
+    flow->params = params;
+    flow->on_done = std::move(on_done);
+    flow->src_pages = divCeil(params.size, kPageSize);
+    flow->dst_pages = destPages(params);
+    ++stats_.calls;
+    stats_.pages_offloaded += flow->dst_pages;
+
+    checkFreePages(flow);
+}
+
+void
+CompCpyEngine::run(const CompCpyParams &params)
+{
+    bool done = false;
+    start(params, [&done] { done = true; });
+    while (!done)
+        memory_.events().run();
+}
+
+void
+CompCpyEngine::checkFreePages(std::shared_ptr<Flow> flow)
+{
+    // Alg. 2 lines 7-17: reserve scratchpad pages under the lock,
+    // refreshing the shadow counter lazily from the MMIO register.
+    ++shared_.lock_acquisitions;
+    const auto needed =
+        static_cast<std::int64_t>(flow->dst_pages);
+    if (shared_.free_pages > needed) {
+        shared_.free_pages -= needed;
+        flushSource(std::move(flow));
+        return;
+    }
+
+    ++stats_.freepages_refreshes;
+    auto reg = std::make_shared<std::array<std::uint8_t, kCacheLineSize>>();
+    memory_.mmioRead(driver_.mmio(smartdimm::MmioReg::kFreePages),
+                     reg->data(), [this, flow, reg, needed](Tick) {
+        std::uint64_t hw_free = 0;
+        std::memcpy(&hw_free, reg->data(), sizeof(hw_free));
+        shared_.free_pages = static_cast<std::int64_t>(hw_free);
+        if (shared_.free_pages > needed) {
+            shared_.free_pages -= needed;
+            flushSource(flow);
+            return;
+        }
+        // Unlikely path (Alg. 2 line 11): Force-Recycle.
+        forceRecycle(flow, static_cast<std::size_t>(needed));
+    });
+}
+
+void
+CompCpyEngine::forceRecycle(std::shared_ptr<Flow> flow,
+                            std::size_t required_pages)
+{
+    // Algorithm 1: read the pending list, flush those pages so their
+    // cached destination lines write back and drain the scratchpad.
+    ++stats_.force_recycles;
+    auto reg = std::make_shared<std::array<std::uint8_t, kCacheLineSize>>();
+    memory_.mmioRead(driver_.mmio(smartdimm::MmioReg::kPendingList),
+                     reg->data(),
+                     [this, flow, reg, required_pages](Tick) {
+        std::uint64_t words[8];
+        std::memcpy(words, reg->data(), sizeof(words));
+        const std::size_t count =
+            std::min<std::uint64_t>(words[0], 7);
+        const std::size_t to_free =
+            std::min<std::size_t>(count, required_pages + 1);
+
+        if (to_free == 0) {
+            // Nothing pending: the scratchpad will free as in-flight
+            // drains land; retry the freePages check shortly.
+            memory_.events().scheduleIn(100'000, [this, flow] {
+                shared_.free_pages = -1;
+                checkFreePages(flow);
+            });
+            return;
+        }
+
+        auto remaining =
+            std::make_shared<std::size_t>(to_free * kLinesPerPage);
+        auto finish = [this, flow, remaining] {
+            if (--*remaining == 0) {
+                shared_.free_pages = -1;
+                checkFreePages(flow);
+            }
+        };
+        for (std::size_t i = 0; i < to_free; ++i) {
+            const Addr page = words[1 + i];
+            for (std::size_t l = 0; l < kLinesPerPage; ++l) {
+                const Addr line = page + l * kCacheLineSize;
+                if (memory_.llc().contains(line)) {
+                    // Cached copy exists: a flush generates the wrCAS
+                    // that drains the scratchpad line.
+                    memory_.flushLine(line, [finish](Tick) { finish(); });
+                    continue;
+                }
+                // Uncached: read the line back (served from the
+                // scratchpad when staged) and rewrite the identical
+                // bytes — the wrCAS drains staged lines and is a
+                // harmless idempotent store otherwise.
+                auto staging = std::make_shared<
+                    std::array<std::uint8_t, kCacheLineSize>>();
+                memory_.mmioRead(line, staging->data(),
+                                 [this, line, staging, finish](Tick) {
+                    memory_.mmioWrite(line, staging->data(),
+                                      [finish, staging](Tick) {
+                        finish();
+                    });
+                });
+            }
+        }
+    });
+}
+
+void
+CompCpyEngine::flushSource(std::shared_ptr<Flow> flow)
+{
+    // Alg. 2 line 19: flush sbuf so rdCAS commands reach the DIMM.
+    const std::size_t lines =
+        divCeil(flow->params.size, kCacheLineSize);
+    auto remaining = std::make_shared<std::size_t>(lines);
+    for (std::size_t l = 0; l < lines; ++l) {
+        memory_.flushLine(flow->params.sbuf + l * kCacheLineSize,
+                          [this, flow, remaining](Tick) {
+            if (--*remaining == 0)
+                registerPages(flow);
+        });
+    }
+}
+
+void
+CompCpyEngine::registerPages(std::shared_ptr<Flow> flow)
+{
+    // Alg. 2 lines 21-23: one MMIO write per page pair (S17).
+    const CompCpyParams &p = flow->params;
+    if (flow->cursor >= flow->dst_pages) {
+        flow->cursor = 0;
+        copyLines(flow);
+        return;
+    }
+
+    const std::size_t page = flow->cursor++;
+    std::array<std::uint8_t, kCacheLineSize> burst{};
+
+    if (p.ulp == smartdimm::UlpKind::kTlsEncrypt) {
+        smartdimm::TlsPageRegistration reg;
+        reg.page_index = static_cast<std::uint16_t>(page);
+        reg.message_len = static_cast<std::uint32_t>(p.size);
+        reg.message_id = p.message_id;
+        const bool tag_only = page >= flow->src_pages;
+        reg.sbuf_page = tag_only
+                            ? (p.dbuf / kPageSize + page)
+                            : (p.sbuf / kPageSize + page);
+        reg.dbuf_page = p.dbuf / kPageSize + page;
+        std::memcpy(reg.key, p.key, sizeof(reg.key));
+        std::memcpy(reg.iv, p.iv.data(), sizeof(reg.iv));
+        reg.pack(burst.data());
+    } else {
+        smartdimm::DeflatePageRegistration reg;
+        reg.payload_bytes = static_cast<std::uint16_t>(p.size);
+        reg.sbuf_page = p.sbuf / kPageSize;
+        reg.dbuf_page = p.dbuf / kPageSize;
+        reg.pack(burst.data());
+    }
+
+    auto data = std::make_shared<std::array<std::uint8_t, kCacheLineSize>>(
+        burst);
+    memory_.mmioWrite(driver_.mmio(smartdimm::MmioReg::kRegister),
+                      data->data(), [this, flow, data](Tick) {
+        registerPages(flow);
+    });
+}
+
+void
+CompCpyEngine::copyLines(std::shared_ptr<Flow> flow)
+{
+    // Alg. 2 lines 24-30: the memcpy. Ordered mode fences between
+    // 64-byte copies (one line strictly after another); unordered mode
+    // still serialises read->write per line but lets the memory system
+    // pipeline across lines via a small window.
+    const CompCpyParams &p = flow->params;
+    const std::size_t lines = divCeil(p.size, kCacheLineSize);
+
+    if (flow->cursor >= lines) {
+        flow->cursor = 0;
+        zeroTrailer(flow);
+        return;
+    }
+
+    const std::size_t window =
+        p.ordered ? 1 : std::min<std::size_t>(8, lines - flow->cursor);
+
+    auto joined = std::make_shared<std::size_t>(window);
+    for (std::size_t w = 0; w < window; ++w) {
+        const std::size_t line_index = flow->cursor + w;
+        const Addr src = p.sbuf + line_index * kCacheLineSize;
+        const Addr dst = p.dbuf + line_index * kCacheLineSize;
+        auto staging = std::make_shared<
+            std::array<std::uint8_t, kCacheLineSize>>();
+        memory_.readLine(src, staging->data(),
+                         [this, flow, joined, dst, staging](Tick) {
+            ++stats_.lines_copied;
+            memory_.writeLine(dst, staging->data(),
+                              [this, flow, joined, staging](Tick) {
+                if (--*joined == 0)
+                    copyLines(flow);
+            });
+        });
+    }
+    flow->cursor += window;
+}
+
+void
+CompCpyEngine::zeroTrailer(std::shared_ptr<Flow> flow)
+{
+    // TLS only: the record trailer (tag space) belongs to dbuf but is
+    // never written by the memcpy; writing zeros makes those lines
+    // dirty so LLC writebacks self-recycle them like any other line.
+    const CompCpyParams &p = flow->params;
+    const std::size_t payload_lines = divCeil(p.size, kCacheLineSize);
+    const std::size_t total_lines =
+        p.ulp == smartdimm::UlpKind::kTlsEncrypt
+            ? flow->dst_pages * kLinesPerPage
+            : payload_lines;
+
+    if (payload_lines >= total_lines) {
+        flow->on_done();
+        return;
+    }
+
+    auto remaining =
+        std::make_shared<std::size_t>(total_lines - payload_lines);
+    static const std::array<std::uint8_t, kCacheLineSize> kZeros{};
+    for (std::size_t l = payload_lines; l < total_lines; ++l) {
+        memory_.writeLine(p.dbuf + l * kCacheLineSize, kZeros.data(),
+                          [flow, remaining](Tick) {
+            if (--*remaining == 0)
+                flow->on_done();
+        });
+    }
+}
+
+void
+CompCpyEngine::use(Addr dbuf, std::size_t bytes,
+                   std::function<void()> on_done)
+{
+    const std::size_t lines = divCeil(bytes, kCacheLineSize);
+    auto remaining = std::make_shared<std::size_t>(lines);
+    auto done = std::make_shared<std::function<void()>>(std::move(on_done));
+    for (std::size_t l = 0; l < lines; ++l) {
+        memory_.flushLine(dbuf + l * kCacheLineSize,
+                          [remaining, done](Tick) {
+            if (--*remaining == 0)
+                (*done)();
+        });
+    }
+}
+
+void
+CompCpyEngine::useSync(Addr dbuf, std::size_t bytes)
+{
+    bool done = false;
+    use(dbuf, bytes, [&done] { done = true; });
+    while (!done)
+        memory_.events().run();
+}
+
+std::vector<std::uint8_t>
+CompCpyEngine::readResult(Addr dbuf, std::size_t bytes)
+{
+    const std::size_t lines = divCeil(bytes, kCacheLineSize);
+    std::vector<std::uint8_t> out(lines * kCacheLineSize);
+    memory_.readSync(dbuf, out.data(), out.size());
+    out.resize(bytes);
+    return out;
+}
+
+} // namespace sd::compcpy

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The CompCpy API (Algorithm 2) and Force-Recycle (Algorithm 1).
+ * CompCpy extends memcpy: while copying a 4 KB-aligned source buffer
+ * to a destination buffer it configures SmartDIMM so the data is
+ * transformed on its way through the DDR channel. The engine runs
+ * against the simulated MemorySystem, so every step — the cache
+ * flush, the MMIO registration, the 64-byte copy loop with optional
+ * fences, and the USE-side flush — produces real DDR commands at the
+ * buffer device.
+ */
+
+#ifndef SD_COMPCPY_COMPCPY_H
+#define SD_COMPCPY_COMPCPY_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cache/memory_system.h"
+#include "common/types.h"
+#include "compcpy/driver.h"
+#include "crypto/aes_gcm.h"
+#include "smartdimm/dsa.h"
+#include "smartdimm/mmio_layout.h"
+
+namespace sd::compcpy {
+
+/** Parameters of one CompCpy invocation. */
+struct CompCpyParams
+{
+    Addr dbuf = 0;          ///< page-aligned destination
+    Addr sbuf = 0;          ///< page-aligned source
+    std::size_t size = 0;   ///< source bytes (payload)
+    bool ordered = false;   ///< fence between 64 B copies (Deflate)
+
+    /** TLS context (used when ulp == kTlsEncrypt). */
+    std::uint8_t key[16] = {};
+    crypto::GcmIv iv{};
+    std::uint64_t message_id = 0;
+
+    smartdimm::UlpKind ulp = smartdimm::UlpKind::kTlsEncrypt;
+};
+
+/** Outcome counters for one engine instance. */
+struct CompCpyStats
+{
+    std::uint64_t calls = 0;
+    std::uint64_t pages_offloaded = 0;
+    std::uint64_t force_recycles = 0;
+    std::uint64_t freepages_refreshes = 0;
+    std::uint64_t lines_copied = 0;
+};
+
+/**
+ * The userspace CompCpy engine. One instance per logical core; the
+ * freePages shadow counter is shared through a SharedState object
+ * (the lock-protected global of Algorithm 2).
+ */
+class CompCpyEngine
+{
+  public:
+    /** The lock-protected global freePages shadow (Alg. 2 line 1). */
+    struct SharedState
+    {
+        std::int64_t free_pages = -1;
+        std::uint64_t lock_acquisitions = 0;
+    };
+
+    CompCpyEngine(cache::MemorySystem &memory, Driver &driver,
+                  SharedState &shared)
+        : memory_(memory), driver_(driver), shared_(shared)
+    {
+    }
+
+    /**
+     * Asynchronous CompCpy. Drives the full Algorithm 2 sequence and
+     * invokes @p on_done when the copy (and therefore the inline
+     * offload registration + data movement) has completed. The
+     * destination must then be consumed via use().
+     */
+    void start(const CompCpyParams &params, std::function<void()> on_done);
+
+    /** Synchronous convenience: start() + pump the event queue. */
+    void run(const CompCpyParams &params);
+
+    /**
+     * USE(dbuf) (Alg. 2 line 32-33): flush the destination so the
+     * Scratchpad drains to DRAM, making the transformed bytes visible.
+     */
+    void use(Addr dbuf, std::size_t bytes,
+             std::function<void()> on_done);
+
+    /** Synchronous use(). */
+    void useSync(Addr dbuf, std::size_t bytes);
+
+    /** Read transformed bytes back (after useSync). */
+    std::vector<std::uint8_t> readResult(Addr dbuf, std::size_t bytes);
+
+    /** Destination pages (incl. TLS trailer) a params needs. */
+    static std::size_t destPages(const CompCpyParams &params);
+
+    const CompCpyStats &stats() const { return stats_; }
+
+  private:
+    struct Flow; ///< per-invocation continuation state
+
+    void checkFreePages(std::shared_ptr<Flow> flow);
+    void forceRecycle(std::shared_ptr<Flow> flow,
+                      std::size_t required_pages);
+    void flushSource(std::shared_ptr<Flow> flow);
+    void registerPages(std::shared_ptr<Flow> flow);
+    void copyLines(std::shared_ptr<Flow> flow);
+    void zeroTrailer(std::shared_ptr<Flow> flow);
+
+    cache::MemorySystem &memory_;
+    Driver &driver_;
+    SharedState &shared_;
+    CompCpyStats stats_;
+};
+
+} // namespace sd::compcpy
+
+#endif // SD_COMPCPY_COMPCPY_H

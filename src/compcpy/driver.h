@@ -1,0 +1,87 @@
+/**
+ * @file
+ * SmartDIMM kernel-driver analogue (Sec. V-C): owns the SmartDIMM
+ * physical address window, hands out page-aligned buffer ranges to
+ * userspace (the CompCpy engine), and exposes the MMIO register
+ * addresses. In a real deployment the OS memory manager would own
+ * this range; the prototype's manual allocator matches the paper.
+ */
+
+#ifndef SD_COMPCPY_DRIVER_H
+#define SD_COMPCPY_DRIVER_H
+
+#include <cstdint>
+#include <map>
+
+#include "common/log.h"
+#include "common/types.h"
+#include "smartdimm/config.h"
+
+namespace sd::compcpy {
+
+/** Page-granular allocator over the SmartDIMM address window. */
+class Driver
+{
+  public:
+    /**
+     * @param base first byte of the SmartDIMM-backed physical range
+     * @param bytes size of the range handed to this driver
+     * @param config device config (for MMIO addresses)
+     */
+    Driver(Addr base, std::size_t bytes,
+           const smartdimm::SmartDimmConfig &config = {})
+        : base_(base), bytes_(bytes), config_(config), next_(base)
+    {
+        SD_ASSERT(isPageAligned(base), "driver range must be page aligned");
+    }
+
+    /** Allocate @p bytes rounded up to pages. Never returns 0. */
+    Addr
+    alloc(std::size_t bytes)
+    {
+        const std::size_t need = divCeil(bytes, kPageSize) * kPageSize;
+        // First fit from the free list, else bump.
+        for (auto it = free_.begin(); it != free_.end(); ++it) {
+            if (it->second >= need) {
+                const Addr addr = it->first;
+                const std::size_t left = it->second - need;
+                free_.erase(it);
+                if (left > 0)
+                    free_[addr + need] = left;
+                return addr;
+            }
+        }
+        SD_ASSERT(next_ + need <= base_ + bytes_,
+                  "SmartDIMM address window exhausted");
+        const Addr addr = next_;
+        next_ += need;
+        return addr;
+    }
+
+    /** Return a range to the pool. */
+    void
+    release(Addr addr, std::size_t bytes)
+    {
+        free_[addr] = divCeil(bytes, kPageSize) * kPageSize;
+    }
+
+    /** MMIO register physical address. */
+    Addr
+    mmio(smartdimm::MmioReg reg) const
+    {
+        return config_.mmio_base + static_cast<Addr>(reg);
+    }
+
+    const smartdimm::SmartDimmConfig &config() const { return config_; }
+
+  private:
+    Addr base_;
+    std::size_t bytes_;
+    smartdimm::SmartDimmConfig config_;
+    Addr next_;
+    std::map<Addr, std::size_t> free_;
+};
+
+} // namespace sd::compcpy
+
+#endif // SD_COMPCPY_DRIVER_H

@@ -1,0 +1,87 @@
+#include "compcpy/offload_engine.h"
+
+#include <cstring>
+
+#include "common/log.h"
+
+namespace sd::compcpy {
+
+AdaptiveTlsEngine::AdaptiveTlsEngine(cache::MemorySystem &memory,
+                                     Driver &driver,
+                                     CompCpyEngine::SharedState &shared,
+                                     const std::uint8_t key[16],
+                                     const crypto::GcmIv &static_iv,
+                                     const AdaptiveConfig &adaptive)
+    : memory_(memory), driver_(driver), compcpy_(memory, driver, shared),
+      probe_(memory.llc(), adaptive), static_iv_(static_iv)
+{
+    std::memcpy(key_, key, sizeof(key_));
+}
+
+EngineRecord
+AdaptiveTlsEngine::protectRecord(const std::uint8_t *plain,
+                                 std::size_t len,
+                                 std::optional<ProcessedOn> force)
+{
+    SD_ASSERT(len > 0 && len <= crypto::kTlsMaxFragment,
+              "record size out of range");
+
+    // Per-record nonce: static IV XOR big-endian sequence number, the
+    // same derivation the software record layer uses.
+    crypto::GcmIv nonce = static_iv_;
+    const std::uint64_t seq = seq_++;
+    for (int i = 0; i < 8; ++i)
+        nonce[4 + i] ^= static_cast<std::uint8_t>(seq >> (56 - 8 * i));
+
+    const ProcessedOn target =
+        force.value_or(probe_.shouldOffload() ? ProcessedOn::kSmartDimm
+                                              : ProcessedOn::kCpu);
+
+    EngineRecord record;
+    record.on = target;
+
+    if (target == ProcessedOn::kCpu) {
+        ++cpu_records_;
+        crypto::GcmContext ctx(key_, crypto::Aes::KeySize::k128);
+        record.body.resize(len + crypto::kTlsTagSize);
+        const crypto::GcmTag tag =
+            ctx.encrypt(nonce, plain, len, record.body.data());
+        std::memcpy(record.body.data() + len, tag.data(), tag.size());
+        return record;
+    }
+
+    ++offloaded_records_;
+
+    // SmartDIMM path: stage the plaintext in an sbuf, CompCpy it into
+    // a dbuf, flush (USE) and read back ciphertext || tag.
+    const std::size_t src_bytes = divCeil(len, kPageSize) * kPageSize;
+    const std::size_t dst_bytes =
+        divCeil(len + crypto::kTlsTagSize, kPageSize) * kPageSize;
+    const Addr sbuf = driver_.alloc(src_bytes);
+    const Addr dbuf = driver_.alloc(dst_bytes);
+
+    // Application writes the plaintext (padding the tail line).
+    std::vector<std::uint8_t> staged(src_bytes, 0);
+    std::memcpy(staged.data(), plain, len);
+    memory_.writeSync(sbuf, staged.data(), staged.size());
+
+    CompCpyParams params;
+    params.dbuf = dbuf;
+    params.sbuf = sbuf;
+    params.size = len;
+    params.ulp = smartdimm::UlpKind::kTlsEncrypt;
+    params.message_id = next_message_id_++;
+    std::memcpy(params.key, key_, sizeof(params.key));
+    params.iv = nonce;
+
+    compcpy_.run(params);
+    compcpy_.useSync(dbuf, dst_bytes);
+    record.body =
+        compcpy_.readResult(dbuf, len + crypto::kTlsTagSize);
+
+    driver_.release(sbuf, src_bytes);
+    driver_.release(dbuf, dst_bytes);
+    return record;
+}
+
+} // namespace sd::compcpy

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * LSB-first bit-level reader/writer used by the DEFLATE codec
+ * (RFC 1951 packs code bits least-significant-bit first).
+ */
+
+#ifndef SD_COMPRESS_BITSTREAM_H
+#define SD_COMPRESS_BITSTREAM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/log.h"
+
+namespace sd::compress {
+
+/** Append-only LSB-first bit writer. */
+class BitWriter
+{
+  public:
+    /** Append the low @p count bits of @p bits (count <= 32). */
+    void
+    put(std::uint32_t bits, unsigned count)
+    {
+        SD_ASSERT(count <= 32, "bit run too long");
+        acc_ |= static_cast<std::uint64_t>(bits &
+                  (count >= 32 ? 0xffffffffu : ((1u << count) - 1)))
+                << fill_;
+        fill_ += count;
+        while (fill_ >= 8) {
+            bytes_.push_back(static_cast<std::uint8_t>(acc_));
+            acc_ >>= 8;
+            fill_ -= 8;
+        }
+    }
+
+    /** Append Huffman code bits MSB-first (RFC 1951 code order). */
+    void
+    putHuffman(std::uint32_t code, unsigned count)
+    {
+        // Reverse so the code's MSB is emitted first.
+        std::uint32_t rev = 0;
+        for (unsigned i = 0; i < count; ++i)
+            rev |= ((code >> i) & 1u) << (count - 1 - i);
+        put(rev, count);
+    }
+
+    /** Pad to a byte boundary with zero bits. */
+    void
+    alignByte()
+    {
+        if (fill_ > 0) {
+            bytes_.push_back(static_cast<std::uint8_t>(acc_));
+            acc_ = 0;
+            fill_ = 0;
+        }
+    }
+
+    /** Finish and take the byte buffer. */
+    std::vector<std::uint8_t>
+    finish()
+    {
+        alignByte();
+        return std::move(bytes_);
+    }
+
+    /** Bits written so far. */
+    std::size_t bitCount() const { return bytes_.size() * 8 + fill_; }
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+    std::uint64_t acc_ = 0;
+    unsigned fill_ = 0;
+};
+
+/** LSB-first bit reader over a byte span. */
+class BitReader
+{
+  public:
+    BitReader(const std::uint8_t *data, std::size_t len)
+        : data_(data), len_(len)
+    {
+    }
+
+    /** @return the next @p count bits (LSB-first), consuming them. */
+    std::uint32_t
+    take(unsigned count)
+    {
+        SD_ASSERT(count <= 32, "bit run too long");
+        while (fill_ < count) {
+            SD_ASSERT(pos_ < len_, "bitstream underflow");
+            acc_ |= static_cast<std::uint64_t>(data_[pos_++]) << fill_;
+            fill_ += 8;
+        }
+        const std::uint32_t out = static_cast<std::uint32_t>(
+            acc_ & (count >= 32 ? 0xffffffffu : ((1u << count) - 1)));
+        acc_ >>= count;
+        fill_ -= count;
+        return out;
+    }
+
+    /** Take a single bit. */
+    std::uint32_t takeBit() { return take(1); }
+
+    /** Discard bits to the next byte boundary. */
+    void
+    alignByte()
+    {
+        const unsigned drop = fill_ % 8;
+        acc_ >>= drop;
+        fill_ -= drop;
+    }
+
+    /** @return true when no full byte and no buffered bits remain. */
+    bool exhausted() const { return pos_ >= len_ && fill_ == 0; }
+
+  private:
+    const std::uint8_t *data_;
+    std::size_t len_;
+    std::size_t pos_ = 0;
+    std::uint64_t acc_ = 0;
+    unsigned fill_ = 0;
+};
+
+} // namespace sd::compress
+
+#endif // SD_COMPRESS_BITSTREAM_H

@@ -1,0 +1,404 @@
+#include "compress/deflate.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "common/log.h"
+#include "compress/bitstream.h"
+#include "compress/huffman.h"
+
+namespace sd::compress {
+
+namespace {
+
+// --- RFC 1951 code tables -------------------------------------------------
+
+/** Length code descriptor: base length and number of extra bits. */
+struct LengthCode
+{
+    std::uint16_t base;
+    std::uint8_t extra;
+};
+
+/** Length codes 257..285. */
+constexpr LengthCode kLengthCodes[29] = {
+    {3, 0},   {4, 0},   {5, 0},   {6, 0},   {7, 0},   {8, 0},
+    {9, 0},   {10, 0},  {11, 1},  {13, 1},  {15, 1},  {17, 1},
+    {19, 2},  {23, 2},  {27, 2},  {31, 2},  {35, 3},  {43, 3},
+    {51, 3},  {59, 3},  {67, 4},  {83, 4},  {99, 4},  {115, 4},
+    {131, 5}, {163, 5}, {195, 5}, {227, 5}, {258, 0},
+};
+
+/** Distance codes 0..29. */
+constexpr LengthCode kDistCodes[30] = {
+    {1, 0},     {2, 0},     {3, 0},     {4, 0},     {5, 1},
+    {7, 1},     {9, 2},     {13, 2},    {17, 3},    {25, 3},
+    {33, 4},    {49, 4},    {65, 5},    {97, 5},    {129, 6},
+    {193, 6},   {257, 7},   {385, 7},   {513, 8},   {769, 8},
+    {1025, 9},  {1537, 9},  {2049, 10}, {3073, 10}, {4097, 11},
+    {6145, 11}, {8193, 12}, {12289, 12}, {16385, 13}, {24577, 13},
+};
+
+/** Order in which code-length code lengths are stored (RFC 1951). */
+constexpr std::uint8_t kClOrder[19] = {
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+};
+
+constexpr std::size_t kNumLitLen = 288; // literal/length alphabet
+constexpr std::size_t kNumDist = 30;
+constexpr std::uint16_t kEndOfBlock = 256;
+
+/** Map a match length (3..258) to its length code index (0..28). */
+unsigned
+lengthCodeIndex(unsigned len)
+{
+    SD_ASSERT(len >= kMinMatch && len <= kMaxMatch, "bad match length");
+    for (unsigned i = 28;; --i) {
+        if (len >= kLengthCodes[i].base)
+            return i;
+        if (i == 0)
+            break;
+    }
+    SD_PANIC("unreachable length code");
+}
+
+/** Map a distance (1..32768) to its distance code index (0..29). */
+unsigned
+distCodeIndex(unsigned dist)
+{
+    SD_ASSERT(dist >= 1 && dist <= kMaxDistance, "bad match distance");
+    for (unsigned i = 29;; --i) {
+        if (dist >= kDistCodes[i].base)
+            return i;
+        if (i == 0)
+            break;
+    }
+    SD_PANIC("unreachable distance code");
+}
+
+/** Fixed literal/length code lengths (RFC 1951 sec. 3.2.6). */
+std::vector<std::uint8_t>
+fixedLitLenLengths()
+{
+    std::vector<std::uint8_t> lengths(kNumLitLen);
+    for (std::size_t s = 0; s < kNumLitLen; ++s) {
+        if (s <= 143)
+            lengths[s] = 8;
+        else if (s <= 255)
+            lengths[s] = 9;
+        else if (s <= 279)
+            lengths[s] = 7;
+        else
+            lengths[s] = 8;
+    }
+    return lengths;
+}
+
+/** Fixed distance code lengths: all 5 bits. */
+std::vector<std::uint8_t>
+fixedDistLengths()
+{
+    return std::vector<std::uint8_t>(kNumDist, 5);
+}
+
+/** Emit one token with the given code tables. */
+void
+emitToken(BitWriter &writer, const Lz77Token &tok,
+          const std::vector<HuffmanCode> &lit_codes,
+          const std::vector<HuffmanCode> &dist_codes)
+{
+    if (!tok.is_match) {
+        const auto &c = lit_codes[tok.literal];
+        writer.putHuffman(c.code, c.length);
+        return;
+    }
+    const unsigned lci = lengthCodeIndex(tok.length);
+    const auto &lc = lit_codes[257 + lci];
+    writer.putHuffman(lc.code, lc.length);
+    writer.put(tok.length - kLengthCodes[lci].base, kLengthCodes[lci].extra);
+
+    const unsigned dci = distCodeIndex(tok.distance);
+    const auto &dc = dist_codes[dci];
+    writer.putHuffman(dc.code, dc.length);
+    writer.put(tok.distance - kDistCodes[dci].base, kDistCodes[dci].extra);
+}
+
+/** Token frequencies for dynamic table construction. */
+void
+countFrequencies(const std::vector<Lz77Token> &tokens,
+                 std::vector<std::uint64_t> &lit_freq,
+                 std::vector<std::uint64_t> &dist_freq)
+{
+    lit_freq.assign(kNumLitLen, 0);
+    dist_freq.assign(kNumDist, 0);
+    for (const auto &tok : tokens) {
+        if (!tok.is_match) {
+            ++lit_freq[tok.literal];
+        } else {
+            ++lit_freq[257 + lengthCodeIndex(tok.length)];
+            ++dist_freq[distCodeIndex(tok.distance)];
+        }
+    }
+    ++lit_freq[kEndOfBlock];
+}
+
+/**
+ * Write a dynamic block header: HLIT/HDIST/HCLEN plus the
+ * run-length-coded code lengths (RFC 1951 sec. 3.2.7). Returns the
+ * canonical code tables to use for the block body.
+ */
+void
+writeDynamicHeader(BitWriter &writer,
+                   const std::vector<std::uint8_t> &lit_lengths,
+                   const std::vector<std::uint8_t> &dist_lengths)
+{
+    // Trim trailing zero lengths but respect the minimums.
+    std::size_t hlit = kNumLitLen;
+    while (hlit > 257 && lit_lengths[hlit - 1] == 0)
+        --hlit;
+    std::size_t hdist = kNumDist;
+    while (hdist > 1 && dist_lengths[hdist - 1] == 0)
+        --hdist;
+
+    // Concatenate and run-length encode with symbols 16/17/18.
+    std::vector<std::uint8_t> all;
+    all.insert(all.end(), lit_lengths.begin(),
+               lit_lengths.begin() + static_cast<long>(hlit));
+    all.insert(all.end(), dist_lengths.begin(),
+               dist_lengths.begin() + static_cast<long>(hdist));
+
+    struct ClSym
+    {
+        std::uint8_t sym;
+        std::uint8_t extra_bits;
+        std::uint8_t extra_val;
+    };
+    std::vector<ClSym> cl_stream;
+    for (std::size_t i = 0; i < all.size();) {
+        const std::uint8_t v = all[i];
+        std::size_t run = 1;
+        while (i + run < all.size() && all[i + run] == v)
+            ++run;
+        if (v == 0) {
+            std::size_t left = run;
+            while (left >= 11) {
+                const std::size_t take = std::min<std::size_t>(left, 138);
+                cl_stream.push_back(
+                    {18, 7, static_cast<std::uint8_t>(take - 11)});
+                left -= take;
+            }
+            while (left >= 3) {
+                const std::size_t take = std::min<std::size_t>(left, 10);
+                cl_stream.push_back(
+                    {17, 3, static_cast<std::uint8_t>(take - 3)});
+                left -= take;
+            }
+            while (left--)
+                cl_stream.push_back({0, 0, 0});
+        } else {
+            cl_stream.push_back({v, 0, 0});
+            std::size_t left = run - 1;
+            while (left >= 3) {
+                const std::size_t take = std::min<std::size_t>(left, 6);
+                cl_stream.push_back(
+                    {16, 2, static_cast<std::uint8_t>(take - 3)});
+                left -= take;
+            }
+            while (left--)
+                cl_stream.push_back({v, 0, 0});
+        }
+        i += run;
+    }
+
+    // Code-length code table.
+    std::vector<std::uint64_t> cl_freq(19, 0);
+    for (const auto &s : cl_stream)
+        ++cl_freq[s.sym];
+    const auto cl_lengths = huffmanCodeLengths(cl_freq, 7);
+    const auto cl_codes = canonicalCodes(cl_lengths);
+
+    std::size_t hclen = 19;
+    while (hclen > 4 && cl_lengths[kClOrder[hclen - 1]] == 0)
+        --hclen;
+
+    writer.put(static_cast<std::uint32_t>(hlit - 257), 5);
+    writer.put(static_cast<std::uint32_t>(hdist - 1), 5);
+    writer.put(static_cast<std::uint32_t>(hclen - 4), 4);
+    for (std::size_t i = 0; i < hclen; ++i)
+        writer.put(cl_lengths[kClOrder[i]], 3);
+    for (const auto &s : cl_stream) {
+        const auto &c = cl_codes[s.sym];
+        writer.putHuffman(c.code, c.length);
+        if (s.extra_bits)
+            writer.put(s.extra_val, s.extra_bits);
+    }
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+deflateEncodeTokens(const std::vector<Lz77Token> &tokens,
+                    DeflateStrategy strategy, bool final_block)
+{
+    SD_ASSERT(strategy != DeflateStrategy::kStored,
+              "stored blocks carry bytes, not tokens");
+    BitWriter writer;
+    writer.put(final_block ? 1 : 0, 1); // BFINAL
+    std::vector<std::uint8_t> lit_lengths;
+    std::vector<std::uint8_t> dist_lengths;
+    if (strategy == DeflateStrategy::kFixed) {
+        writer.put(0b01, 2); // BTYPE = fixed
+        lit_lengths = fixedLitLenLengths();
+        dist_lengths = fixedDistLengths();
+    } else {
+        writer.put(0b10, 2); // BTYPE = dynamic
+        std::vector<std::uint64_t> lit_freq;
+        std::vector<std::uint64_t> dist_freq;
+        countFrequencies(tokens, lit_freq, dist_freq);
+        lit_lengths = huffmanCodeLengths(lit_freq, 15);
+        dist_lengths = huffmanCodeLengths(dist_freq, 15);
+        // Deflate requires at least one distance code length even when
+        // the block has no matches.
+        bool any_dist = false;
+        for (auto l : dist_lengths)
+            any_dist |= l != 0;
+        if (!any_dist)
+            dist_lengths[0] = 1;
+        writeDynamicHeader(writer, lit_lengths, dist_lengths);
+    }
+
+    const auto lit_codes = canonicalCodes(lit_lengths);
+    const auto dist_codes = canonicalCodes(dist_lengths);
+    for (const auto &tok : tokens)
+        emitToken(writer, tok, lit_codes, dist_codes);
+    const auto &eob = lit_codes[kEndOfBlock];
+    writer.putHuffman(eob.code, eob.length);
+    return writer.finish();
+}
+
+DeflateResult
+deflateCompress(const std::uint8_t *data, std::size_t len,
+                DeflateStrategy strategy, const Lz77Config &lz)
+{
+    DeflateResult result;
+    if (strategy == DeflateStrategy::kStored) {
+        BitWriter writer;
+        // Emit stored blocks of at most 65535 bytes.
+        std::size_t off = 0;
+        do {
+            const std::size_t take =
+                std::min<std::size_t>(len - off, 65535);
+            const bool fin = off + take >= len;
+            writer.put(fin ? 1 : 0, 1);
+            writer.put(0b00, 2);
+            writer.alignByte();
+            writer.put(static_cast<std::uint32_t>(take), 16);
+            writer.put(static_cast<std::uint32_t>(~take & 0xffff), 16);
+            for (std::size_t i = 0; i < take; ++i)
+                writer.put(data[off + i], 8);
+            off += take;
+        } while (off < len);
+        result.bytes = writer.finish();
+        return result;
+    }
+
+    const auto tokens = lz77Compress(data, len, lz, &result.lz_stats);
+    result.bytes = deflateEncodeTokens(tokens, strategy);
+    return result;
+}
+
+std::vector<std::uint8_t>
+deflateDecompress(const std::uint8_t *data, std::size_t len)
+{
+    BitReader reader(data, len);
+    std::vector<std::uint8_t> out;
+
+    for (;;) {
+        const bool final_block = reader.takeBit() != 0;
+        const std::uint32_t btype = reader.take(2);
+
+        if (btype == 0b00) {
+            reader.alignByte();
+            const std::uint32_t n = reader.take(16);
+            const std::uint32_t nlen = reader.take(16);
+            SD_ASSERT((n ^ nlen) == 0xffff, "stored block LEN mismatch");
+            for (std::uint32_t i = 0; i < n; ++i)
+                out.push_back(static_cast<std::uint8_t>(reader.take(8)));
+        } else {
+            std::vector<std::uint8_t> lit_lengths;
+            std::vector<std::uint8_t> dist_lengths;
+            if (btype == 0b01) {
+                lit_lengths = fixedLitLenLengths();
+                dist_lengths = fixedDistLengths();
+            } else {
+                SD_ASSERT(btype == 0b10, "reserved BTYPE");
+                const std::size_t hlit = reader.take(5) + 257;
+                const std::size_t hdist = reader.take(5) + 1;
+                const std::size_t hclen = reader.take(4) + 4;
+                std::vector<std::uint8_t> cl_lengths(19, 0);
+                for (std::size_t i = 0; i < hclen; ++i)
+                    cl_lengths[kClOrder[i]] =
+                        static_cast<std::uint8_t>(reader.take(3));
+                HuffmanDecoder cl_decoder(cl_lengths);
+
+                std::vector<std::uint8_t> all;
+                while (all.size() < hlit + hdist) {
+                    const std::uint16_t sym = cl_decoder.decode(reader);
+                    if (sym < 16) {
+                        all.push_back(static_cast<std::uint8_t>(sym));
+                    } else if (sym == 16) {
+                        SD_ASSERT(!all.empty(), "repeat with no prior");
+                        const std::uint32_t n = 3 + reader.take(2);
+                        all.insert(all.end(), n, all.back());
+                    } else if (sym == 17) {
+                        const std::uint32_t n = 3 + reader.take(3);
+                        all.insert(all.end(), n, 0);
+                    } else {
+                        const std::uint32_t n = 11 + reader.take(7);
+                        all.insert(all.end(), n, 0);
+                    }
+                }
+                lit_lengths.assign(all.begin(),
+                                   all.begin() + static_cast<long>(hlit));
+                lit_lengths.resize(kNumLitLen, 0);
+                dist_lengths.assign(all.begin() + static_cast<long>(hlit),
+                                    all.end());
+                dist_lengths.resize(kNumDist, 0);
+            }
+
+            HuffmanDecoder lit_decoder(lit_lengths);
+            HuffmanDecoder dist_decoder(dist_lengths);
+
+            for (;;) {
+                const std::uint16_t sym = lit_decoder.decode(reader);
+                if (sym == kEndOfBlock)
+                    break;
+                if (sym < 256) {
+                    out.push_back(static_cast<std::uint8_t>(sym));
+                    continue;
+                }
+                const unsigned lci = sym - 257;
+                SD_ASSERT(lci < 29, "invalid length code");
+                const std::size_t match_len =
+                    kLengthCodes[lci].base +
+                    reader.take(kLengthCodes[lci].extra);
+                const std::uint16_t dsym = dist_decoder.decode(reader);
+                SD_ASSERT(dsym < 30, "invalid distance code");
+                const std::size_t dist =
+                    kDistCodes[dsym].base +
+                    reader.take(kDistCodes[dsym].extra);
+                SD_ASSERT(dist <= out.size(), "distance beyond history");
+                const std::size_t start = out.size() - dist;
+                for (std::size_t i = 0; i < match_len; ++i)
+                    out.push_back(out[start + i]);
+            }
+        }
+
+        if (final_block)
+            break;
+    }
+    return out;
+}
+
+} // namespace sd::compress

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * DEFLATE codec (RFC 1951 bitstream layout): LZ77 tokens entropy-coded
+ * with either the fixed Huffman tables or per-block dynamic tables.
+ * The decoder understands stored, fixed and dynamic blocks, so it can
+ * decode both the software encoder's output and the hardware DSA
+ * model's output (which uses fixed codes for deterministic latency).
+ */
+
+#ifndef SD_COMPRESS_DEFLATE_H
+#define SD_COMPRESS_DEFLATE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "compress/lz77.h"
+
+namespace sd::compress {
+
+/** Entropy-coding strategy for an encode call. */
+enum class DeflateStrategy
+{
+    kFixed,   ///< RFC 1951 fixed literal/length + distance codes
+    kDynamic, ///< per-block optimal canonical codes
+    kStored,  ///< no compression (stored blocks)
+};
+
+/** Outcome of an encode call. */
+struct DeflateResult
+{
+    std::vector<std::uint8_t> bytes; ///< compressed bitstream
+    Lz77Stats lz_stats;              ///< token statistics
+
+    double
+    ratio(std::size_t original) const
+    {
+        return bytes.empty()
+                   ? 0.0
+                   : static_cast<double>(original) /
+                         static_cast<double>(bytes.size());
+    }
+};
+
+/**
+ * Compress @p len bytes of @p data into a single-block DEFLATE stream.
+ */
+DeflateResult deflateCompress(const std::uint8_t *data, std::size_t len,
+                              DeflateStrategy strategy =
+                                  DeflateStrategy::kDynamic,
+                              const Lz77Config &lz = {});
+
+/**
+ * Entropy-code a pre-computed token stream (used by the hardware DSA
+ * model, whose match finding differs from the software matcher).
+ * @param final_block sets the BFINAL bit.
+ */
+std::vector<std::uint8_t> deflateEncodeTokens(
+    const std::vector<Lz77Token> &tokens, DeflateStrategy strategy,
+    bool final_block = true);
+
+/**
+ * Decompress a DEFLATE stream produced by any encoder in this module.
+ * Panics on malformed input (simulation data is trusted).
+ */
+std::vector<std::uint8_t> deflateDecompress(const std::uint8_t *data,
+                                            std::size_t len);
+
+} // namespace sd::compress
+
+#endif // SD_COMPRESS_DEFLATE_H

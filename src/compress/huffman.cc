@@ -1,0 +1,213 @@
+#include "compress/huffman.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/log.h"
+
+namespace sd::compress {
+
+std::vector<std::uint8_t>
+huffmanCodeLengths(const std::vector<std::uint64_t> &freqs,
+                   unsigned max_bits)
+{
+    const std::size_t n = freqs.size();
+    std::vector<std::uint8_t> lengths(n, 0);
+
+    // Collect used symbols.
+    std::vector<std::size_t> used;
+    for (std::size_t i = 0; i < n; ++i)
+        if (freqs[i] > 0)
+            used.push_back(i);
+
+    if (used.empty())
+        return lengths;
+    if (used.size() == 1) {
+        // A single symbol still needs a 1-bit code in Deflate terms.
+        lengths[used[0]] = 1;
+        return lengths;
+    }
+
+    // Standard two-queue/heap Huffman tree build.
+    struct Node
+    {
+        std::uint64_t freq;
+        int left;   // node index or -1
+        int right;  // node index or -1
+        std::size_t symbol;
+    };
+    std::vector<Node> nodes;
+    nodes.reserve(used.size() * 2);
+
+    using HeapItem = std::pair<std::uint64_t, int>; // (freq, node idx)
+    std::priority_queue<HeapItem, std::vector<HeapItem>,
+                        std::greater<>> heap;
+    for (std::size_t s : used) {
+        nodes.push_back(Node{freqs[s], -1, -1, s});
+        heap.emplace(freqs[s], static_cast<int>(nodes.size()) - 1);
+    }
+    while (heap.size() > 1) {
+        auto [fa, a] = heap.top();
+        heap.pop();
+        auto [fb, b] = heap.top();
+        heap.pop();
+        nodes.push_back(Node{fa + fb, a, b, 0});
+        heap.emplace(fa + fb, static_cast<int>(nodes.size()) - 1);
+    }
+
+    // Depth-first depth assignment.
+    struct Frame
+    {
+        int node;
+        unsigned depth;
+    };
+    std::vector<Frame> stack{{heap.top().second, 0}};
+    while (!stack.empty()) {
+        const Frame f = stack.back();
+        stack.pop_back();
+        const Node &node = nodes[static_cast<std::size_t>(f.node)];
+        if (node.left < 0) {
+            lengths[node.symbol] =
+                static_cast<std::uint8_t>(std::max(1u, f.depth));
+        } else {
+            stack.push_back({node.left, f.depth + 1});
+            stack.push_back({node.right, f.depth + 1});
+        }
+    }
+
+    // Clamp overlong codes and repair the Kraft sum: the classic
+    // zlib-style adjustment (move overflowed leaves up under shorter
+    // siblings).
+    bool overflow = false;
+    for (std::size_t s : used)
+        if (lengths[s] > max_bits)
+            overflow = true;
+    if (overflow) {
+        std::vector<std::uint32_t> bl_count(max_bits + 1, 0);
+        for (std::size_t s : used)
+            bl_count[std::min<unsigned>(lengths[s], max_bits)]++;
+        // Kraft repair: while the code is over-subscribed, demote one
+        // leaf from the deepest non-empty level above.
+        auto kraft = [&]() {
+            std::uint64_t sum = 0;
+            for (unsigned l = 1; l <= max_bits; ++l)
+                sum += static_cast<std::uint64_t>(bl_count[l])
+                       << (max_bits - l);
+            return sum;
+        };
+        const std::uint64_t budget = 1ULL << max_bits;
+        while (kraft() > budget) {
+            // Find a leaf at a level l < max_bits to push down one
+            // level (costs less budget).
+            unsigned l = max_bits - 1;
+            while (l >= 1 && bl_count[l] == 0)
+                --l;
+            SD_ASSERT(l >= 1, "cannot repair Huffman code lengths");
+            --bl_count[l];
+            ++bl_count[l + 1];
+        }
+        // Reassign lengths: sort used symbols by (old length, freq
+        // descending) and dole out the repaired length histogram.
+        std::vector<std::size_t> order = used;
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      if (lengths[a] != lengths[b])
+                          return lengths[a] < lengths[b];
+                      return freqs[a] > freqs[b];
+                  });
+        std::size_t idx = 0;
+        for (unsigned l = 1; l <= max_bits; ++l)
+            for (std::uint32_t i = 0; i < bl_count[l]; ++i)
+                lengths[order[idx++]] = static_cast<std::uint8_t>(l);
+        SD_ASSERT(idx == order.size(), "length histogram mismatch");
+    }
+
+    return lengths;
+}
+
+std::vector<HuffmanCode>
+canonicalCodes(const std::vector<std::uint8_t> &lengths)
+{
+    unsigned max_len = 0;
+    for (auto l : lengths)
+        max_len = std::max<unsigned>(max_len, l);
+
+    std::vector<std::uint32_t> bl_count(max_len + 1, 0);
+    for (auto l : lengths)
+        if (l)
+            ++bl_count[l];
+
+    // RFC 1951: next_code per length.
+    std::vector<std::uint32_t> next_code(max_len + 2, 0);
+    std::uint32_t code = 0;
+    for (unsigned l = 1; l <= max_len; ++l) {
+        code = (code + bl_count[l - 1]) << 1;
+        next_code[l] = code;
+    }
+
+    std::vector<HuffmanCode> codes(lengths.size());
+    for (std::size_t s = 0; s < lengths.size(); ++s) {
+        if (lengths[s] == 0)
+            continue;
+        codes[s].length = lengths[s];
+        codes[s].code =
+            static_cast<std::uint16_t>(next_code[lengths[s]]++);
+    }
+    return codes;
+}
+
+HuffmanDecoder::HuffmanDecoder(const std::vector<std::uint8_t> &lengths)
+{
+    for (auto l : lengths)
+        max_len_ = std::max<unsigned>(max_len_, l);
+    if (max_len_ == 0)
+        return;
+
+    std::vector<std::uint32_t> bl_count(max_len_ + 1, 0);
+    for (auto l : lengths)
+        if (l)
+            ++bl_count[l];
+
+    first_code_.assign(max_len_ + 1, 0);
+    first_index_.assign(max_len_ + 1, 0);
+    // RFC 1951 next_code recurrence; bl_count[0] is implicitly 0 so
+    // the l == 1 iteration yields first code 0.
+    std::uint32_t code = 0;
+    std::uint32_t index = 0;
+    for (unsigned l = 1; l <= max_len_; ++l) {
+        code = (code + bl_count[l - 1]) << 1;
+        first_code_[l] = code;
+        first_index_[l] = index;
+        index += bl_count[l];
+    }
+
+    // Symbols sorted by (length, symbol) — canonical order.
+    for (unsigned l = 1; l <= max_len_; ++l)
+        for (std::size_t s = 0; s < lengths.size(); ++s)
+            if (lengths[s] == l)
+                sorted_symbols_.push_back(static_cast<std::uint16_t>(s));
+
+    valid_ = !sorted_symbols_.empty();
+}
+
+std::uint16_t
+HuffmanDecoder::decode(BitReader &reader) const
+{
+    SD_ASSERT(valid_, "decoding with an empty Huffman table");
+    std::uint32_t code = 0;
+    for (unsigned l = 1; l <= max_len_; ++l) {
+        code = (code << 1) | reader.takeBit();
+        const std::uint32_t first = first_code_[l];
+        const std::uint32_t index = first_index_[l];
+        const std::uint32_t count =
+            (l < max_len_ ? first_index_[l + 1] : static_cast<std::uint32_t>(
+                                                      sorted_symbols_.size()))
+            - index;
+        if (count > 0 && code >= first && code < first + count)
+            return sorted_symbols_[index + (code - first)];
+    }
+    SD_PANIC("invalid Huffman code in bitstream");
+}
+
+} // namespace sd::compress

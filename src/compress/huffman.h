@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Canonical Huffman coding (the second Deflate stage). Builds
+ * length-limited canonical codes from symbol frequencies and provides
+ * encode tables plus a bit-level decoder.
+ */
+
+#ifndef SD_COMPRESS_HUFFMAN_H
+#define SD_COMPRESS_HUFFMAN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "compress/bitstream.h"
+
+namespace sd::compress {
+
+/** Canonical code for one symbol. */
+struct HuffmanCode
+{
+    std::uint16_t code = 0; ///< MSB-first code value
+    std::uint8_t length = 0; ///< 0 means symbol unused
+};
+
+/**
+ * Compute length-limited canonical Huffman code lengths for the given
+ * frequencies (zero-frequency symbols get length 0). Uses the standard
+ * heap construction followed by depth clamping with Kraft repair.
+ *
+ * @param freqs per-symbol frequency
+ * @param max_bits maximum code length (15 for Deflate)
+ */
+std::vector<std::uint8_t> huffmanCodeLengths(
+    const std::vector<std::uint64_t> &freqs, unsigned max_bits);
+
+/** Expand code lengths into canonical codes (RFC 1951 ordering). */
+std::vector<HuffmanCode> canonicalCodes(
+    const std::vector<std::uint8_t> &lengths);
+
+/**
+ * Table-free canonical decoder: walks the bitstream one bit at a time
+ * using first-code/offset arrays (adequate for simulation workloads).
+ */
+class HuffmanDecoder
+{
+  public:
+    /** Build from the same code lengths the encoder used. */
+    explicit HuffmanDecoder(const std::vector<std::uint8_t> &lengths);
+
+    /** Decode one symbol from @p reader. */
+    std::uint16_t decode(BitReader &reader) const;
+
+    /** @return true if at least one symbol has a code. */
+    bool valid() const { return valid_; }
+
+  private:
+    // For each length L: first canonical code value and the index of
+    // the first symbol of that length in sorted_symbols_.
+    std::vector<std::uint32_t> first_code_;
+    std::vector<std::uint32_t> first_index_;
+    std::vector<std::uint16_t> sorted_symbols_;
+    unsigned max_len_ = 0;
+    bool valid_ = false;
+};
+
+} // namespace sd::compress
+
+#endif // SD_COMPRESS_HUFFMAN_H

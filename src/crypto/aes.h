@@ -1,0 +1,62 @@
+/**
+ * @file
+ * AES block cipher (FIPS-197), 128- and 256-bit keys. This is the
+ * functional reference both for the on-CPU (AES-NI stand-in) path and
+ * for the SmartDIMM TLS DSA; correctness is checked against FIPS-197
+ * and NIST SP 800-38D test vectors in the test suite.
+ *
+ * Plain table-free byte implementation: speed is not the point here —
+ * the performance of each placement comes from calibrated cost models,
+ * while this code guarantees the *data* is transformed exactly.
+ */
+
+#ifndef SD_CRYPTO_AES_H
+#define SD_CRYPTO_AES_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace sd::crypto {
+
+/** AES block size in bytes. */
+inline constexpr std::size_t kAesBlockSize = 16;
+
+/**
+ * Expanded-key AES encryptor. Decryption is not needed anywhere in the
+ * stack (GCM uses the forward cipher in both directions).
+ */
+class Aes
+{
+  public:
+    /** Key sizes supported. */
+    enum class KeySize { k128, k256 };
+
+    /**
+     * Expand @p key.
+     * @param key raw key bytes (16 or 32 depending on @p size).
+     */
+    Aes(const std::uint8_t *key, KeySize size);
+
+    /** Convenience: AES-128 from a 16-byte array. */
+    static Aes
+    aes128(const std::array<std::uint8_t, 16> &key)
+    {
+        return Aes(key.data(), KeySize::k128);
+    }
+
+    /** Encrypt one 16-byte block (in-place allowed). */
+    void encryptBlock(const std::uint8_t in[16], std::uint8_t out[16]) const;
+
+    /** Number of rounds (10 for AES-128, 14 for AES-256). */
+    int rounds() const { return rounds_; }
+
+  private:
+    int rounds_;
+    // Round keys: (rounds + 1) * 16 bytes, max 15 * 16 = 240.
+    std::array<std::uint8_t, 240> roundKeys_{};
+};
+
+} // namespace sd::crypto
+
+#endif // SD_CRYPTO_AES_H

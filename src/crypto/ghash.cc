@@ -1,0 +1,78 @@
+#include "crypto/ghash.h"
+
+#include "common/log.h"
+
+namespace sd::crypto {
+
+Gf128
+Gf128::load(const std::uint8_t bytes[16])
+{
+    Gf128 out;
+    for (int i = 0; i < 8; ++i)
+        out.hi = (out.hi << 8) | bytes[i];
+    for (int i = 8; i < 16; ++i)
+        out.lo = (out.lo << 8) | bytes[i];
+    return out;
+}
+
+void
+Gf128::store(std::uint8_t bytes[16]) const
+{
+    for (int i = 0; i < 8; ++i)
+        bytes[i] = static_cast<std::uint8_t>(hi >> (56 - 8 * i));
+    for (int i = 0; i < 8; ++i)
+        bytes[8 + i] = static_cast<std::uint8_t>(lo >> (56 - 8 * i));
+}
+
+Gf128
+gfMul(const Gf128 &a, const Gf128 &b)
+{
+    // Right-shift multiplication per SP 800-38D: bit 0 of the GCM
+    // representation is the most significant byte's MSB.
+    Gf128 z{};
+    Gf128 v = b;
+    for (int i = 0; i < 128; ++i) {
+        const std::uint64_t word = i < 64 ? a.hi : a.lo;
+        const int bit = 63 - (i & 63);
+        if ((word >> bit) & 1) {
+            z.hi ^= v.hi;
+            z.lo ^= v.lo;
+        }
+        const bool lsb = v.lo & 1;
+        v.lo = (v.lo >> 1) | (v.hi << 63);
+        v.hi >>= 1;
+        if (lsb)
+            v.hi ^= 0xe100000000000000ULL; // R = 11100001 || 0^120
+    }
+    return z;
+}
+
+Ghash::Ghash(const Gf128 &h) : h_(h)
+{
+    powers_.push_back(h);
+}
+
+void
+Ghash::update(const std::uint8_t block[16])
+{
+    y_ = gfMul(y_ ^ Gf128::load(block), h_);
+}
+
+const Gf128 &
+Ghash::power(std::size_t k)
+{
+    SD_ASSERT(k >= 1, "H^0 is never used by GHASH");
+    while (powers_.size() < k)
+        powers_.push_back(gfMul(powers_.back(), h_));
+    return powers_[k - 1];
+}
+
+Gf128
+Ghash::positional(const std::uint8_t block[16], std::size_t index,
+                  std::size_t total_blocks)
+{
+    SD_ASSERT(index < total_blocks, "block index outside message");
+    return gfMul(Gf128::load(block), power(total_blocks - index));
+}
+
+} // namespace sd::crypto

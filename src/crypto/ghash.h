@@ -1,0 +1,88 @@
+/**
+ * @file
+ * GHASH over GF(2^128) as specified in NIST SP 800-38D. Supports the
+ * stride-4 precomputed powers of H the SmartDIMM TLS DSA uses to break
+ * the serial dependency chain between 64-byte cachelines (Sec. V-A).
+ */
+
+#ifndef SD_CRYPTO_GHASH_H
+#define SD_CRYPTO_GHASH_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sd::crypto {
+
+/** A 128-bit GF(2^128) element in GCM bit order (big-endian bytes). */
+struct Gf128
+{
+    std::uint64_t hi = 0; ///< bytes 0..7 (big-endian most significant)
+    std::uint64_t lo = 0; ///< bytes 8..15
+
+    bool operator==(const Gf128 &) const = default;
+
+    /** Load from 16 big-endian bytes. */
+    static Gf128 load(const std::uint8_t bytes[16]);
+
+    /** Store to 16 big-endian bytes. */
+    void store(std::uint8_t bytes[16]) const;
+
+    /** XOR (addition in GF(2^128)). */
+    Gf128
+    operator^(const Gf128 &o) const
+    {
+        return Gf128{hi ^ o.hi, lo ^ o.lo};
+    }
+};
+
+/** Carry-less multiply in GF(2^128) with the GCM polynomial. */
+Gf128 gfMul(const Gf128 &a, const Gf128 &b);
+
+/**
+ * Incremental GHASH accumulator.
+ *
+ * The streaming form computes Y_i = (Y_{i-1} ^ X_i) * H. The DSA form
+ * instead exploits linearity: the digest of n blocks equals
+ * XOR_i X_i * H^(n-i), so blocks can be folded in *any order* once
+ * their position (and hence the needed power of H) is known. That is
+ * exactly why the paper precomputes powers of H in strides of 4 — each
+ * 64-byte cacheline covers 4 AES blocks at a known block offset.
+ */
+class Ghash
+{
+  public:
+    /** @param h hash subkey (AES_K(0^128)). */
+    explicit Ghash(const Gf128 &h);
+
+    /** Streaming: fold one 16-byte block in sequence order. */
+    void update(const std::uint8_t block[16]);
+
+    /** Streaming digest so far. */
+    Gf128 digest() const { return y_; }
+
+    /** Reset to the empty digest. */
+    void reset() { y_ = Gf128{}; }
+
+    /** @return H^k (k >= 1), extending the cached table on demand. */
+    const Gf128 &power(std::size_t k);
+
+    /**
+     * Positional fold: contribution of @p block at position @p index
+     * (0-based) within a message of @p total_blocks blocks, i.e.
+     * block * H^(total_blocks - index). XOR of all contributions gives
+     * the same digest as streaming over the whole message.
+     */
+    Gf128 positional(const std::uint8_t block[16], std::size_t index,
+                     std::size_t total_blocks);
+
+  private:
+    Gf128 h_;
+    Gf128 y_{};
+    std::vector<Gf128> powers_; ///< powers_[k-1] = H^k
+};
+
+} // namespace sd::crypto
+
+#endif // SD_CRYPTO_GHASH_H

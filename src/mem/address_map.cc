@@ -1,0 +1,76 @@
+#include "mem/address_map.h"
+
+#include "common/bitops.h"
+#include "common/log.h"
+
+namespace sd::mem {
+
+AddressMap::AddressMap(const DramGeometry &geometry,
+                       ChannelInterleave interleave)
+    : geometry_(geometry), interleave_(interleave)
+{
+    SD_ASSERT(isPowerOf2(geometry.channels) &&
+                  isPowerOf2(geometry.ranks) &&
+                  isPowerOf2(geometry.bank_groups) &&
+                  isPowerOf2(geometry.banks_per_group) &&
+                  isPowerOf2(geometry.row_bytes),
+              "DRAM geometry fields must be powers of two");
+    channel_bits_ =
+        geometry.channels > 1 ? floorLog2(geometry.channels) : 0;
+    col_bits_ = floorLog2(geometry.linesPerRow());
+    bank_bits_ = floorLog2(geometry.banks_per_group);
+    bg_bits_ = floorLog2(geometry.bank_groups);
+    rank_bits_ = geometry.ranks > 1 ? floorLog2(geometry.ranks) : 0;
+}
+
+DramCoord
+AddressMap::decompose(Addr addr) const
+{
+    std::uint64_t v = addr >> 6; // line index
+    DramCoord coord;
+
+    if (interleave_ == ChannelInterleave::kLine && channel_bits_ > 0) {
+        coord.channel = static_cast<unsigned>(bits(v, 0, channel_bits_));
+        v >>= channel_bits_;
+    } else if (interleave_ == ChannelInterleave::kPage &&
+               channel_bits_ > 0) {
+        // 4 KB page = 64 lines: channel bits sit above bit 5 of the
+        // line index.
+        const std::uint64_t in_page = bits(v, 0, 6);
+        coord.channel =
+            static_cast<unsigned>(bits(v, 6, channel_bits_));
+        v = ((v >> (6 + channel_bits_)) << 6) | in_page;
+    }
+
+    coord.col = bits(v, 0, col_bits_);
+    v >>= col_bits_;
+    coord.bank = static_cast<unsigned>(bits(v, 0, bank_bits_));
+    v >>= bank_bits_;
+    coord.bank_group = static_cast<unsigned>(bits(v, 0, bg_bits_));
+    v >>= bg_bits_;
+    coord.rank = static_cast<unsigned>(bits(v, 0, rank_bits_));
+    v >>= rank_bits_;
+    coord.row = v;
+    return coord;
+}
+
+Addr
+AddressMap::compose(const DramCoord &coord) const
+{
+    std::uint64_t v = coord.row;
+    v = (v << rank_bits_) | coord.rank;
+    v = (v << bg_bits_) | coord.bank_group;
+    v = (v << bank_bits_) | coord.bank;
+    v = (v << col_bits_) | coord.col;
+
+    if (interleave_ == ChannelInterleave::kLine && channel_bits_ > 0) {
+        v = (v << channel_bits_) | coord.channel;
+    } else if (interleave_ == ChannelInterleave::kPage &&
+               channel_bits_ > 0) {
+        const std::uint64_t in_page = bits(v, 0, 6);
+        v = ((((v >> 6) << channel_bits_) | coord.channel) << 6) | in_page;
+    }
+    return v << 6;
+}
+
+} // namespace sd::mem

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * DDR command stream types. The memory controller emits these to the
+ * attached DIMM device; SmartDIMM's slot decoder consumes them four to
+ * a buffer-device cycle (Sec. IV-C).
+ */
+
+#ifndef SD_MEM_DRAM_COMMAND_H
+#define SD_MEM_DRAM_COMMAND_H
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "mem/address_map.h"
+
+namespace sd::mem {
+
+/** DDR4 command types the model issues. */
+enum class DdrCommandType : std::uint8_t
+{
+    kActivate,   ///< RAS: open a row
+    kPrecharge,  ///< PRE: close a row
+    kReadCas,    ///< rdCAS: 64 B burst read
+    kWriteCas,   ///< wrCAS: 64 B burst write
+    kRefresh,    ///< REF (modeled for bandwidth accounting only)
+};
+
+/** One command as seen on the channel's CA bus. */
+struct DdrCommand
+{
+    DdrCommandType type = DdrCommandType::kActivate;
+    DramCoord coord;
+    Addr addr = 0;   ///< physical line address (CAS commands)
+    Tick issue = 0;  ///< tick the command appears on the bus
+    unsigned slot = 0; ///< 0..3 position within the buffer-device cycle
+};
+
+/** Result of presenting a rdCAS to a DIMM device. */
+enum class ReadResponse : std::uint8_t
+{
+    kOk,     ///< data valid on the bus after tCL
+    kAlertN, ///< device asserted ALERT_N; controller must retry (S13)
+};
+
+/**
+ * Anything that sits on a channel behind the controller: a plain DIMM
+ * or a SmartDIMM buffer device.
+ */
+class DimmDevice
+{
+  public:
+    virtual ~DimmDevice() = default;
+
+    /** Non-CAS commands (ACT/PRE/REF) for bank-table bookkeeping. */
+    virtual void onCommand(const DdrCommand &cmd) = 0;
+
+    /**
+     * rdCAS: fill @p data with the 64-byte burst, or assert ALERT_N.
+     */
+    virtual ReadResponse onRead(const DdrCommand &cmd,
+                                std::uint8_t *data) = 0;
+
+    /**
+     * wrCAS: consume the 64-byte burst. A device may ignore the write
+     * (SmartDIMM S7) — that is invisible to the controller, as on real
+     * hardware.
+     */
+    virtual void onWrite(const DdrCommand &cmd,
+                         const std::uint8_t *data) = 0;
+};
+
+/** Observer tap for command traces (Fig. 9). */
+class CommandObserver
+{
+  public:
+    virtual ~CommandObserver() = default;
+    virtual void observe(const DdrCommand &cmd) = 0;
+};
+
+} // namespace sd::mem
+
+#endif // SD_MEM_DRAM_COMMAND_H

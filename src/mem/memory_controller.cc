@@ -1,0 +1,246 @@
+#include "mem/memory_controller.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/log.h"
+
+namespace sd::mem {
+
+MemoryController::MemoryController(EventQueue &events, const AddressMap &map,
+                                   const DramTiming &timing,
+                                   const ControllerConfig &config,
+                                   unsigned channel, DimmDevice &dimm)
+    : events_(events), map_(map), timing_(timing), config_(config),
+      channel_(channel), dimm_(dimm),
+      banks_(map.geometry().totalBanks())
+{
+}
+
+void
+MemoryController::enqueueRead(Addr line_addr, std::uint8_t *data,
+                              MemCallback cb)
+{
+    SD_ASSERT(isLineAligned(line_addr), "unaligned read 0x%llx",
+              static_cast<unsigned long long>(line_addr));
+    Request req;
+    req.addr = line_addr;
+    req.coord = map_.decompose(line_addr);
+    req.read_data = data;
+    req.cb = std::move(cb);
+    req.enqueued = events_.now();
+    read_q_.push_back(std::move(req));
+    kick();
+}
+
+void
+MemoryController::enqueueWrite(Addr line_addr, const std::uint8_t *data,
+                               MemCallback cb)
+{
+    SD_ASSERT(isLineAligned(line_addr), "unaligned write 0x%llx",
+              static_cast<unsigned long long>(line_addr));
+    Request req;
+    req.addr = line_addr;
+    req.coord = map_.decompose(line_addr);
+    req.write_data.assign(data, data + kCacheLineSize);
+    req.cb = std::move(cb);
+    req.enqueued = events_.now();
+    write_q_.push_back(std::move(req));
+    kick();
+}
+
+void
+MemoryController::kick()
+{
+    if (pass_scheduled_)
+        return;
+    pass_scheduled_ = true;
+    // Scheduler decisions land on command-clock edges.
+    events_.schedule(clock_.nextEdge(events_.now()), [this] {
+        pass_scheduled_ = false;
+        schedulePass();
+    });
+}
+
+std::size_t
+MemoryController::pickFrFcfs(const std::deque<Request> &queue) const
+{
+    // First ready (row hit), then oldest.
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        const auto &bank = banks_[queue[i].coord.flatBank(map_.geometry())];
+        if (bank.open && bank.row == queue[i].coord.row)
+            return i;
+    }
+    return 0;
+}
+
+void
+MemoryController::emit(DdrCommandType type, const Request &req, Tick at)
+{
+    DdrCommand cmd;
+    cmd.type = type;
+    cmd.coord = req.coord;
+    cmd.addr = req.addr;
+    cmd.issue = at;
+    // Four command slots per buffer-device cycle (Sec. IV-C).
+    cmd.slot = static_cast<unsigned>(clock_.cyclesAt(at) % 4);
+    dimm_.onCommand(cmd);
+    if (observer_)
+        observer_->observe(cmd);
+}
+
+bool
+MemoryController::issueRequest(std::deque<Request> &queue,
+                               std::size_t index, bool is_write)
+{
+    Request &req = queue[index];
+    Bank &bank = banks_[req.coord.flatBank(map_.geometry())];
+    const Tick now = events_.now();
+    const Tick period = clock_.period();
+
+    // Open the right row first if needed.
+    if (!bank.open || bank.row != req.coord.row) {
+        Tick when = std::max(now, bank.ready_at);
+        if (bank.open) {
+            // PRE then ACT. Respect tRAS since the last ACT.
+            when = std::max(when, bank.act_at + timing_.tRAS * period);
+            Request pre_req = req; // coordinates only
+            emit(DdrCommandType::kPrecharge, pre_req, when);
+            when += timing_.tRP * period;
+            ++stats_.row_conflicts;
+        } else {
+            ++stats_.row_misses;
+        }
+        emit(DdrCommandType::kActivate, req, when);
+        req.needed_act = true;
+        bank.open = true;
+        bank.row = req.coord.row;
+        bank.act_at = when;
+        bank.ready_at = when + timing_.tRCD * period;
+        // Re-run the scheduler when the bank becomes ready.
+        events_.schedule(bank.ready_at, [this] { schedulePass(); });
+        return false; // CAS not issued this pass
+    }
+
+    // Earliest issue: bank readiness, data-bus availability, and the
+    // read/write turnaround relative to the *previous* burst. All
+    // inputs are stable until another CAS issues, so the computed
+    // tick does not recede across scheduler passes.
+    Tick earliest = std::max(bank.ready_at, bus_free_at_);
+    const bool turnaround =
+        cas_issued_ && last_was_write_ != is_write;
+    if (turnaround)
+        earliest = std::max(
+            earliest,
+            bus_free_at_ +
+                (is_write ? timing_.tRTW : timing_.tWTR) * period);
+    const Tick cas_at = clock_.nextEdge(std::max(earliest, now));
+
+    if (cas_at > now) {
+        // Not issuable yet; try again when the bus frees up.
+        events_.schedule(cas_at, [this] { schedulePass(); });
+        return false;
+    }
+    if (turnaround)
+        ++stats_.turnarounds;
+
+    // Issue the CAS now. Row hits are CASes that never needed an ACT.
+    if (!req.needed_act)
+        ++stats_.row_hits;
+    Request done = std::move(req);
+    queue.erase(queue.begin() + static_cast<long>(index));
+
+    const Cycles cas_latency = is_write ? timing_.tCWL : timing_.tCL;
+    const Tick data_start = cas_at + cas_latency * period;
+    const Tick data_end = data_start + timing_.tBL * period;
+
+    bank.ready_at = cas_at + timing_.tCCD_L * period;
+    bus_free_at_ = data_end;
+    last_was_write_ = is_write;
+    cas_issued_ = true;
+    bus_busy_cycles_ += timing_.tBL;
+
+    if (is_write) {
+        emit(DdrCommandType::kWriteCas, done, cas_at);
+        ++stats_.writes;
+        // The burst reaches the device at the end of the data transfer.
+        auto data = std::make_shared<std::vector<std::uint8_t>>(
+            std::move(done.write_data));
+        auto cb = std::move(done.cb);
+        DdrCommand cmd;
+        cmd.type = DdrCommandType::kWriteCas;
+        cmd.coord = done.coord;
+        cmd.addr = done.addr;
+        cmd.issue = cas_at;
+        cmd.slot = static_cast<unsigned>(clock_.cyclesAt(cas_at) % 4);
+        events_.schedule(data_end, [this, cmd, data, cb] {
+            dimm_.onWrite(cmd, data->data());
+            if (cb)
+                cb(events_.now());
+        });
+    } else {
+        emit(DdrCommandType::kReadCas, done, cas_at);
+        DdrCommand cmd;
+        cmd.type = DdrCommandType::kReadCas;
+        cmd.coord = done.coord;
+        cmd.addr = done.addr;
+        cmd.issue = cas_at;
+        cmd.slot = static_cast<unsigned>(clock_.cyclesAt(cas_at) % 4);
+        auto *read_data = done.read_data;
+        auto cb = std::move(done.cb);
+        auto retries = done.retries;
+        events_.schedule(data_end, [this, cmd, read_data, cb, retries] {
+            const ReadResponse resp = dimm_.onRead(cmd, read_data);
+            if (resp == ReadResponse::kAlertN) {
+                // S13: device asserted ALERT_N — requeue the rdCAS.
+                ++stats_.alert_retries;
+                Request retry;
+                retry.addr = cmd.addr;
+                retry.coord = cmd.coord;
+                retry.read_data = read_data;
+                retry.cb = cb;
+                retry.enqueued = events_.now();
+                retry.retries = retries + 1;
+                SD_ASSERT(retry.retries < 64,
+                          "rdCAS retried 64 times — DSA wedged?");
+                read_q_.push_back(std::move(retry));
+                kick();
+                return;
+            }
+            ++stats_.reads;
+            if (cb)
+                cb(events_.now());
+        });
+        // Count the read at issue for scheduling purposes: stats_.reads
+        // is incremented at completion above; nothing else here.
+    }
+    return true;
+}
+
+void
+MemoryController::schedulePass()
+{
+    // Drain-mode hysteresis (write batching).
+    if (write_q_.size() >= config_.write_high_watermark)
+        write_drain_ = true;
+    if (write_q_.size() <= config_.write_low_watermark)
+        write_drain_ = false;
+
+    for (;;) {
+        const bool service_writes =
+            write_drain_ || (read_q_.empty() && !write_q_.empty());
+        std::deque<Request> &queue = service_writes ? write_q_ : read_q_;
+        if (queue.empty())
+            return;
+        const std::size_t index = pickFrFcfs(queue);
+        if (!issueRequest(queue, index, service_writes))
+            return; // waiting on a bank/bus event already scheduled
+        // Keep issuing while commands fit at the current tick.
+        if (write_q_.size() >= config_.write_high_watermark)
+            write_drain_ = true;
+        if (write_q_.size() <= config_.write_low_watermark)
+            write_drain_ = false;
+    }
+}
+
+} // namespace sd::mem

@@ -1,0 +1,144 @@
+#include "offload/design_space.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sd::offload {
+
+const std::array<std::string, kCriterionCount> &
+criterionNames()
+{
+    static const std::array<std::string, kCriterionCount> names = {
+        "low_contention_perf", "high_contention_perf",
+        "transport_compat",    "ulp_diversity",
+        "loss_resilience",     "transport_flexibility",
+    };
+    return names;
+}
+
+namespace {
+
+/** Map relative throughput (vs. best option) to a 0..5 score. */
+double
+throughputScore(double cycles, double best_cycles)
+{
+    // best -> 5, 4x worse -> ~1.25.
+    return std::clamp(5.0 * best_cycles / cycles, 0.0, 5.0);
+}
+
+} // namespace
+
+std::vector<DesignPoint>
+designSpace(const CostModel &model)
+{
+    constexpr std::size_t kMsg = 16384;
+
+    struct Eval
+    {
+        PlacementKind kind;
+        const char *name;
+    };
+    const Eval evals[] = {
+        {PlacementKind::kCpu, "CPU"},
+        {PlacementKind::kSmartNic, "SmartNIC (autonomous)"},
+        {PlacementKind::kQuickAssist, "PCIe accelerator"},
+        {PlacementKind::kSmartDimm, "SmartDIMM"},
+    };
+
+    LoadContext quiet;
+    quiet.leak_fraction = 0.05;
+    LoadContext contended;
+    contended.leak_fraction = 0.9;
+    LoadContext lossy;
+    lossy.leak_fraction = 0.5;
+    lossy.loss_events_per_message = 0.05;
+    LoadContext lossless;
+    lossless.leak_fraction = 0.5;
+
+    // Collect TLS cycle costs at each operating point.
+    std::array<double, 4> quiet_cycles{};
+    std::array<double, 4> contended_cycles{};
+    std::array<double, 4> lossy_cycles{};
+    std::array<double, 4> lossless_cycles{};
+    for (std::size_t i = 0; i < 4; ++i) {
+        const auto p = makePlacement(evals[i].kind, model);
+        quiet_cycles[i] =
+            p->messageCost(Ulp::kTlsEncrypt, kMsg, quiet).cpu_cycles +
+            model.cpu.base_request_cycles;
+        contended_cycles[i] =
+            p->messageCost(Ulp::kTlsEncrypt, kMsg, contended)
+                .cpu_cycles +
+            model.cpu.base_request_cycles;
+        lossy_cycles[i] =
+            p->messageCost(Ulp::kTlsEncrypt, kMsg, lossy).cpu_cycles +
+            model.cpu.base_request_cycles;
+        lossless_cycles[i] =
+            p->messageCost(Ulp::kTlsEncrypt, kMsg, lossless)
+                .cpu_cycles +
+            model.cpu.base_request_cycles;
+    }
+    const double best_quiet =
+        *std::min_element(quiet_cycles.begin(), quiet_cycles.end());
+    const double best_contended = *std::min_element(
+        contended_cycles.begin(), contended_cycles.end());
+
+    std::vector<DesignPoint> points;
+    for (std::size_t i = 0; i < 4; ++i) {
+        DesignPoint point;
+        point.option = evals[i].name;
+        point.scores[static_cast<std::size_t>(
+            Criterion::kLowContentionPerf)] =
+            throughputScore(quiet_cycles[i], best_quiet);
+        point.scores[static_cast<std::size_t>(
+            Criterion::kHighContentionPerf)] =
+            throughputScore(contended_cycles[i], best_contended);
+        // Loss resilience: how much of the lossless throughput
+        // survives a 5% loss-event rate.
+        point.scores[static_cast<std::size_t>(
+            Criterion::kLossResilience)] =
+            std::clamp(5.0 * lossless_cycles[i] / lossy_cycles[i], 0.0,
+                       5.0);
+
+        // Structural criteria.
+        switch (evals[i].kind) {
+          case PlacementKind::kCpu:
+            point.scores[static_cast<std::size_t>(
+                Criterion::kTransportCompat)] = 5;
+            point.scores[static_cast<std::size_t>(
+                Criterion::kUlpDiversity)] = 5;
+            point.scores[static_cast<std::size_t>(
+                Criterion::kTransportFlexibility)] = 5;
+            break;
+          case PlacementKind::kSmartNic:
+            // Below-the-stack placement: size-preserving ULPs only,
+            // speculative state tied to TCP behaviour.
+            point.scores[static_cast<std::size_t>(
+                Criterion::kTransportCompat)] = 3;
+            point.scores[static_cast<std::size_t>(
+                Criterion::kUlpDiversity)] = 2;
+            point.scores[static_cast<std::size_t>(
+                Criterion::kTransportFlexibility)] = 4;
+            break;
+          case PlacementKind::kQuickAssist:
+            point.scores[static_cast<std::size_t>(
+                Criterion::kTransportCompat)] = 5;
+            point.scores[static_cast<std::size_t>(
+                Criterion::kUlpDiversity)] = 4;
+            point.scores[static_cast<std::size_t>(
+                Criterion::kTransportFlexibility)] = 5;
+            break;
+          case PlacementKind::kSmartDimm:
+            point.scores[static_cast<std::size_t>(
+                Criterion::kTransportCompat)] = 5;
+            point.scores[static_cast<std::size_t>(
+                Criterion::kUlpDiversity)] = 4;
+            point.scores[static_cast<std::size_t>(
+                Criterion::kTransportFlexibility)] = 5;
+            break;
+        }
+        points.push_back(point);
+    }
+    return points;
+}
+
+} // namespace sd::offload

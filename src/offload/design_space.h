@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The Fig. 13 design-space comparison: each ULP processing option
+ * scored against the paper's five criteria. Scores are derived from
+ * the placement models where quantitative (contention behaviour,
+ * loss resilience) and from protocol-compatibility facts where
+ * structural (size-preservation, transport coupling).
+ */
+
+#ifndef SD_OFFLOAD_DESIGN_SPACE_H
+#define SD_OFFLOAD_DESIGN_SPACE_H
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "offload/placement.h"
+
+namespace sd::offload {
+
+/** The evaluation criteria of Fig. 13. */
+enum class Criterion : std::size_t
+{
+    kLowContentionPerf = 0,  ///< performance with a quiet LLC
+    kHighContentionPerf,     ///< performance with a thrashed LLC
+    kTransportCompat,        ///< works atop TCP and UDP unchanged
+    kUlpDiversity,           ///< non-size-preserving / stateful ULPs
+    kLossResilience,         ///< performance under drops/reordering
+    kTransportFlexibility,   ///< L4 stack remains software-evolvable
+    kCount,
+};
+
+inline constexpr std::size_t kCriterionCount =
+    static_cast<std::size_t>(Criterion::kCount);
+
+/** Human-readable criterion names, indexable by Criterion. */
+const std::array<std::string, kCriterionCount> &criterionNames();
+
+/** Scores (0..5) for one option across all criteria. */
+struct DesignPoint
+{
+    std::string option;
+    std::array<double, kCriterionCount> scores{};
+};
+
+/**
+ * Build the comparison. The contention and loss scores are computed
+ * by evaluating the placements at quiet/contended and lossless/lossy
+ * operating points with the given cost model; structural criteria are
+ * fixed by the architecture (e.g. a TOE pins the transport in
+ * hardware).
+ */
+std::vector<DesignPoint> designSpace(const CostModel &model = {});
+
+} // namespace sd::offload
+
+#endif // SD_OFFLOAD_DESIGN_SPACE_H

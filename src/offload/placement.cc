@@ -1,0 +1,290 @@
+#include "offload/placement.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+#include "common/types.h"
+
+namespace sd::offload {
+
+namespace {
+
+/** TLS 1.3 maximum plaintext fragment -> records per message. */
+constexpr std::size_t kTlsRecordMax = 16384;
+
+double
+records(std::size_t bytes)
+{
+    return static_cast<double>(divCeil(bytes, kTlsRecordMax));
+}
+
+double
+pages(std::size_t bytes)
+{
+    return static_cast<double>(divCeil(bytes, kPageSize));
+}
+
+double
+lines(std::size_t bytes)
+{
+    return static_cast<double>(divCeil(bytes, kCacheLineSize));
+}
+
+/** Stall cycles for @p traffic bytes of demand misses. The exposure
+ *  factor reflects memory-level parallelism: longer streams give the
+ *  prefetchers more run-up, hiding a larger share of each miss. */
+double
+missStalls(double traffic_bytes, double miss_cycles,
+           std::size_t message_bytes)
+{
+    const double exposure = std::clamp(
+        0.16 * std::pow(4096.0 / static_cast<double>(message_bytes),
+                        0.3),
+        0.08, 0.20);
+    return traffic_bytes / kCacheLineSize * miss_cycles * exposure;
+}
+
+/** CPU placement: everything on-core (AES-NI / software deflate). */
+class CpuPlacement final : public Placement
+{
+  public:
+    explicit CpuPlacement(const CostModel &m) : m_(m) {}
+
+    std::string name() const override { return "CPU"; }
+    PlacementKind kind() const override { return PlacementKind::kCpu; }
+
+    UlpCost
+    messageCost(Ulp ulp, std::size_t bytes, const LoadContext &ctx)
+        const override
+    {
+        UlpCost cost;
+        const double b = static_cast<double>(bytes);
+        if (ulp == Ulp::kNone)
+            return cost;
+
+        double compute = 0;
+        double traffic = 0;
+        if (ulp == Ulp::kTlsEncrypt) {
+            compute = b * m_.cpu.aesni_cycles_per_byte +
+                      records(bytes) * m_.cpu.tls_record_cycles;
+            // Obs. 3: at contention the transform's streams round-trip
+            // DRAM — plaintext re-read, destination RFO + writeback,
+            // NIC fetch of the ciphertext, and evicted re-reads:
+            // ~5 line passes scaled by the leak fraction.
+            traffic = b * 7.0 * ctx.leak_fraction;
+        } else {
+            compute = b * m_.cpu.deflate_cycles_per_byte +
+                      pages(bytes) * m_.cpu.deflate_setup_cycles;
+            // Deflate additionally churns its window + hash tables:
+            // a few random accesses per input byte, all missing under
+            // contention (the dominant term of Fig. 12's bandwidth).
+            traffic = b * 25.0 * ctx.leak_fraction;
+        }
+
+        const double stalls =
+            missStalls(traffic, m_.cpu.dram_miss_cycles, bytes);
+
+        cost.cpu_cycles = compute + stalls;
+        cost.dram_bytes = traffic;
+        cost.latency_us = cost.cpu_cycles / (m_.cpu.freq_ghz * 1e3);
+        return cost;
+    }
+
+  private:
+    CostModel m_;
+};
+
+/** SmartNIC autonomous offload (TLS only, size-preserving). */
+class SmartNicPlacement final : public Placement
+{
+  public:
+    explicit SmartNicPlacement(const CostModel &m) : m_(m) {}
+
+    std::string name() const override { return "SmartNIC"; }
+    PlacementKind kind() const override
+    {
+        return PlacementKind::kSmartNic;
+    }
+
+    UlpCost
+    messageCost(Ulp ulp, std::size_t bytes, const LoadContext &ctx)
+        const override
+    {
+        UlpCost cost;
+        if (ulp == Ulp::kNone)
+            return cost;
+        if (ulp == Ulp::kDeflate) {
+            // Non-size-preserving ULPs break the TCP state machine
+            // when transformed below the stack (Obs. 1).
+            cost.supported = false;
+            return cost;
+        }
+
+        const double b = static_cast<double>(bytes);
+        const double segments = std::max(1.0, b / 1448.0);
+
+        // Crypto moves to the NIC, but the driver tracks every record
+        // and marks every segment for the inline engine — fixed taxes
+        // that erase the benefit for small records (Fig. 11 @ 4 KB).
+        double cycles = records(bytes) * m_.smartnic.record_skip_cycles +
+                        segments * m_.smartnic.per_segment_cycles;
+
+        // The plaintext still streams through host memory to the NIC
+        // (fewer passes than on-CPU crypto: no ciphertext copy).
+        double traffic = b * 1.2 * ctx.leak_fraction;
+        cycles += missStalls(traffic, m_.cpu.dram_miss_cycles, bytes);
+
+        // Loss/reorder resynchronisation: driver sync + software
+        // fallback crypto for in-flight records (Fig. 2's collapse).
+        if (ctx.loss_events_per_message > 0) {
+            const double fallback_bytes =
+                m_.smartnic.fallback_records *
+                std::min<double>(b, kTlsRecordMax);
+            cycles += ctx.loss_events_per_message *
+                      (m_.smartnic.resync_us * m_.cpu.freq_ghz * 1e3 +
+                       fallback_bytes * m_.cpu.aesni_cycles_per_byte);
+            traffic += ctx.loss_events_per_message * fallback_bytes *
+                       ctx.leak_fraction * 2.0;
+        }
+
+        cost.cpu_cycles = cycles;
+        cost.dram_bytes = traffic;
+        cost.latency_us =
+            b / (m_.smartnic.nic_crypto_gbps * 1e3) +
+            cycles / (m_.cpu.freq_ghz * 1e3);
+        return cost;
+    }
+
+  private:
+    CostModel m_;
+};
+
+/** PCIe QuickAssist placement, synchronous-offload configuration. */
+class QatPlacement final : public Placement
+{
+  public:
+    explicit QatPlacement(const CostModel &m) : m_(m) {}
+
+    std::string name() const override { return "QuickAssist"; }
+    PlacementKind kind() const override
+    {
+        return PlacementKind::kQuickAssist;
+    }
+
+    UlpCost
+    messageCost(Ulp ulp, std::size_t bytes, const LoadContext &ctx)
+        const override
+    {
+        UlpCost cost;
+        if (ulp == Ulp::kNone)
+            return cost;
+        const double b = static_cast<double>(bytes);
+
+        // The worker blocks on each offload (descriptor setup, PCIe
+        // transfer, accelerator time, completion wake-up) — the
+        // fine-grain-offload tax of Obs. 2. TLS offloads per record;
+        // compression offloads per 4 KB page.
+        const double jobs = ulp == Ulp::kTlsEncrypt ? records(bytes)
+                                                    : pages(bytes);
+        const double rate = ulp == Ulp::kTlsEncrypt
+                                ? m_.qat.crypto_gbps
+                                : m_.qat.compress_gbps;
+        const double block_us =
+            jobs * (ulp == Ulp::kTlsEncrypt
+                        ? m_.qat.crypto_block_us
+                        : m_.qat.compress_block_us) +
+            2.0 * b / (m_.qat.pcie_gbps * 1e3) + b / (rate * 1e3);
+
+        double cycles = jobs * m_.qat.mgmt_cycles +
+                        block_us * m_.cpu.freq_ghz * 1e3;
+
+        // Bounce buffers + descriptor rings double-move the payload
+        // through DRAM regardless of cache state.
+        const double traffic = b * m_.qat.dram_traffic_factor +
+                               b * 2.0 * ctx.leak_fraction;
+        cycles += missStalls(traffic, m_.cpu.dram_miss_cycles, bytes);
+
+        cost.cpu_cycles = cycles;
+        cost.dram_bytes = traffic;
+        cost.latency_us = block_us + jobs * m_.qat.mgmt_cycles /
+                                         (m_.cpu.freq_ghz * 1e3);
+        return cost;
+    }
+
+  private:
+    CostModel m_;
+};
+
+/** SmartDIMM CompCpy placement (Sec. IV/V). */
+class SmartDimmPlacement final : public Placement
+{
+  public:
+    explicit SmartDimmPlacement(const CostModel &m) : m_(m) {}
+
+    std::string name() const override { return "SmartDIMM"; }
+    PlacementKind kind() const override
+    {
+        return PlacementKind::kSmartDimm;
+    }
+
+    UlpCost
+    messageCost(Ulp ulp, std::size_t bytes, const LoadContext &ctx)
+        const override
+    {
+        UlpCost cost;
+        if (ulp == Ulp::kNone)
+            return cost;
+        const double b = static_cast<double>(bytes);
+
+        // CompCpy software: freePages bookkeeping + registration MMIO
+        // writes per page, clflush of sbuf, the 64 B-stride copy, and
+        // the USE-side flush of the (ratio-scaled) output.
+        double cycles =
+            records(bytes) * m_.smartdimm.bookkeeping_cycles +
+            pages(bytes) * m_.smartdimm.register_cycles +
+            lines(bytes) * m_.smartdimm.flush_line_cycles +
+            b / m_.cpu.memcpy_bytes_per_cycle +
+            lines(static_cast<std::size_t>(b * ctx.output_ratio)) *
+                m_.smartdimm.flush_line_cycles;
+        if (ulp == Ulp::kDeflate)
+            cycles += lines(bytes) * m_.smartdimm.fence_cycles;
+
+        // The copy's reads come from DRAM (sbuf was flushed) but
+        // stream with deep MLP.
+        cycles += lines(bytes) * m_.cpu.dram_miss_cycles * 0.12;
+
+        // Inline transform: exactly one channel pass in (the rdCAS
+        // the DSA taps) and one out (the self-recycled wrCAS) — no
+        // contention-dependent re-reads.
+        const double traffic = b + b * ctx.output_ratio;
+
+        cost.cpu_cycles = cycles;
+        cost.dram_bytes = traffic;
+        cost.latency_us = cycles / (m_.cpu.freq_ghz * 1e3);
+        return cost;
+    }
+
+  private:
+    CostModel m_;
+};
+
+} // namespace
+
+std::unique_ptr<Placement>
+makePlacement(PlacementKind kind, const CostModel &model)
+{
+    switch (kind) {
+      case PlacementKind::kCpu:
+        return std::make_unique<CpuPlacement>(model);
+      case PlacementKind::kSmartNic:
+        return std::make_unique<SmartNicPlacement>(model);
+      case PlacementKind::kQuickAssist:
+        return std::make_unique<QatPlacement>(model);
+      case PlacementKind::kSmartDimm:
+        return std::make_unique<SmartDimmPlacement>(model);
+    }
+    SD_PANIC("unknown placement kind");
+}
+
+} // namespace sd::offload

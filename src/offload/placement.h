@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Accelerator-placement interface. Each placement converts "process
+ * one ULP message of S bytes" into the three resources the server
+ * simulation arbitrates: CPU cycles, DRAM bytes, and added latency.
+ * The LLC leak fraction (how much of the streamed message spills to
+ * DRAM, Obs. 3) couples the placements to cache contention.
+ */
+
+#ifndef SD_OFFLOAD_PLACEMENT_H
+#define SD_OFFLOAD_PLACEMENT_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "offload/cost_model.h"
+
+namespace sd::offload {
+
+/** ULP processed by the server. */
+enum class Ulp : std::uint8_t
+{
+    kNone,       ///< plain HTTP (baseline for Fig. 3)
+    kTlsEncrypt, ///< HTTPS record protection
+    kDeflate,    ///< HTTP response compression
+};
+
+/** The placements of Fig. 11/12. */
+enum class PlacementKind : std::uint8_t
+{
+    kCpu,
+    kSmartNic,
+    kQuickAssist,
+    kSmartDimm,
+};
+
+/** Per-message resource consumption. */
+struct UlpCost
+{
+    double cpu_cycles = 0;   ///< on-core work + stalls
+    double dram_bytes = 0;   ///< memory traffic attributable to the ULP
+    double latency_us = 0;   ///< added per-message latency
+    bool supported = true;   ///< e.g. SmartNIC cannot do Deflate
+};
+
+/** Environment of one evaluation point. */
+struct LoadContext
+{
+    double leak_fraction = 1.0;  ///< of streamed lines spilling to DRAM
+    double loss_events_per_message = 0.0; ///< TCP recoveries (Fig. 2)
+    double output_ratio = 1.0;   ///< compressed-output / input size
+};
+
+/** One accelerator placement. */
+class Placement
+{
+  public:
+    virtual ~Placement() = default;
+
+    /** Short name for report rows. */
+    virtual std::string name() const = 0;
+    virtual PlacementKind kind() const = 0;
+
+    /** Resource cost of processing one @p bytes message of @p ulp. */
+    virtual UlpCost messageCost(Ulp ulp, std::size_t bytes,
+                                const LoadContext &ctx) const = 0;
+};
+
+/** Factory over the four placements of the evaluation. */
+std::unique_ptr<Placement> makePlacement(PlacementKind kind,
+                                         const CostModel &model = {});
+
+} // namespace sd::offload
+
+#endif // SD_OFFLOAD_PLACEMENT_H

@@ -1,0 +1,54 @@
+#include "sim/event_queue.h"
+
+#include "common/log.h"
+
+namespace sd {
+
+void
+EventQueue::schedule(Tick when, Callback cb, int priority)
+{
+    SD_ASSERT(when >= now_, "scheduling into the past (%llu < %llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(now_));
+    heap_.push(Entry{when, priority, seq_++, std::move(cb)});
+}
+
+Tick
+EventQueue::run()
+{
+    while (!heap_.empty()) {
+        Entry e = heap_.top();
+        heap_.pop();
+        now_ = e.when;
+        ++executed_;
+        e.cb();
+    }
+    return now_;
+}
+
+Tick
+EventQueue::runUntil(Tick limit)
+{
+    while (!heap_.empty() && heap_.top().when <= limit) {
+        Entry e = heap_.top();
+        heap_.pop();
+        now_ = e.when;
+        ++executed_;
+        e.cb();
+    }
+    if (now_ < limit)
+        now_ = limit;
+    return now_;
+}
+
+void
+EventQueue::reset()
+{
+    while (!heap_.empty())
+        heap_.pop();
+    now_ = 0;
+    seq_ = 0;
+    executed_ = 0;
+}
+
+} // namespace sd

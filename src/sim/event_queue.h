@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Discrete-event simulation kernel. Components schedule callbacks at
+ * absolute ticks; the queue executes them in (tick, priority,
+ * insertion-order) order. Single-threaded by design — the simulated
+ * system may have many cores, the simulator has one.
+ */
+
+#ifndef SD_SIM_EVENT_QUEUE_H
+#define SD_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sd {
+
+/**
+ * Time-ordered event queue. Events are arbitrary callables; ties at
+ * the same tick break on priority (lower first), then FIFO.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Default event priority. */
+    static constexpr int kDefaultPriority = 100;
+
+    /** @return the current simulation time. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p cb at absolute tick @p when (>= now()). */
+    void schedule(Tick when, Callback cb, int priority = kDefaultPriority);
+
+    /** Schedule @p cb @p delta ticks in the future. */
+    void scheduleIn(Tick delta, Callback cb,
+                    int priority = kDefaultPriority)
+    {
+        schedule(now_ + delta, std::move(cb), priority);
+    }
+
+    /** Run until the queue drains. @return final tick. */
+    Tick run();
+
+    /** Run events up to and including tick @p limit. @return now(). */
+    Tick runUntil(Tick limit);
+
+    /** @return true when no events are pending. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of events executed so far. */
+    std::uint64_t executed() const { return executed_; }
+
+    /** Drop all pending events and reset time to zero. */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace sd
+
+#endif // SD_SIM_EVENT_QUEUE_H

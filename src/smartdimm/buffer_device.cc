@@ -1,0 +1,388 @@
+#include "smartdimm/buffer_device.h"
+
+#include <cstring>
+
+#include "common/log.h"
+#include "smartdimm/deflate_dsa.h"
+#include "smartdimm/mmio_layout.h"
+
+namespace sd::smartdimm {
+
+BufferDevice::BufferDevice(EventQueue &events, const mem::AddressMap &map,
+                           mem::BackingStore &store,
+                           const SmartDimmConfig &config)
+    : events_(events), map_(map), store_(store), config_(config),
+      bank_table_(map.geometry()),
+      translation_(config.translation_entries, config.cam_entries),
+      scratchpad_(config.scratchpadPages()),
+      config_memory_(config.config_memory_bytes, config.context_bytes)
+{
+}
+
+void
+BufferDevice::onCommand(const mem::DdrCommand &cmd)
+{
+    // RAS/PRE maintain the Bank Table. CAS commands are decoded *now*
+    // (S1 of Fig. 6): the Addr Remap regenerates the physical address
+    // from the Bank Table's active row and the CAS's BG/BA/Col, and
+    // the result is latched for the data phase — the bank may be
+    // re-activated to another row before the burst completes.
+    if (cmd.type == mem::DdrCommandType::kReadCas ||
+        cmd.type == mem::DdrCommandType::kWriteCas) {
+        mem::DramCoord coord = cmd.coord;
+        coord.row = bank_table_.activeRow(cmd.coord);
+        const Addr remapped = map_.compose(coord);
+        SD_ASSERT(remapped == cmd.addr,
+                  "Addr Remap mismatch: 0x%llx != 0x%llx",
+                  static_cast<unsigned long long>(remapped),
+                  static_cast<unsigned long long>(cmd.addr));
+        ++stats_.addr_remap_checks;
+        return;
+    }
+    bank_table_.onCommand(cmd);
+}
+
+void
+BufferDevice::handleMmioRead(Addr addr, std::uint8_t *data)
+{
+    ++stats_.mmio_reads;
+    std::memset(data, 0, kCacheLineSize);
+    const Addr off = addr - config_.mmio_base;
+    switch (static_cast<MmioReg>(off)) {
+      case MmioReg::kFreePages: {
+        const std::uint64_t free = scratchpad_.freePages();
+        std::memcpy(data, &free, sizeof(free));
+        break;
+      }
+      case MmioReg::kPendingList: {
+        // Up to 7 pending destination-page physical addresses after a
+        // count word — one 64-byte register read per batch.
+        std::uint64_t words[8] = {};
+        std::size_t n = 0;
+        for (const auto &[dbuf_page, entry] : dests_) {
+            if (n >= 7)
+                break;
+            words[1 + n++] = dbuf_page * kPageSize;
+        }
+        words[0] = n;
+        std::memcpy(data, words, sizeof(words));
+        break;
+      }
+      default:
+        break; // reserved registers read as zero
+    }
+}
+
+void
+BufferDevice::registerTls(const std::uint8_t *data)
+{
+    const auto reg = TlsPageRegistration::unpack(data);
+    SD_ASSERT(reg.message_len > 0, "TLS registration with empty record");
+
+    // Shared per-message state (partial tag + H-power table).
+    auto &state = message_states_[reg.message_id];
+    if (!state)
+        state = std::make_shared<TlsMessageState>(
+            reg.key, [&] {
+                crypto::GcmIv iv{};
+                std::memcpy(iv.data(), reg.iv, iv.size());
+                return iv;
+            }(), reg.message_len, config_.dsa_line_latency);
+
+    auto job = std::make_shared<TlsDsaJob>(state, reg.page_index);
+
+    // sbuf_page == dbuf_page marks a tag-only trailer page: the
+    // record filled its last payload page exactly, so the tag spills
+    // into a destination page with no matching source page.
+    const bool tag_only = reg.sbuf_page == reg.dbuf_page;
+
+    const auto scratch = scratchpad_.allocate();
+    SD_ASSERT(scratch.has_value(),
+              "scratchpad exhausted — software skipped the freePages "
+              "check (Alg. 2 lines 8-14)");
+
+    std::uint32_t slot_id = 0;
+    if (!tag_only) {
+        // Config Memory slot holds the shipped context (key material,
+        // IV; H powers are derived inside the DSA model).
+        const auto slot = config_memory_.allocate();
+        SD_ASSERT(slot.has_value(), "config memory exhausted");
+        slot_id = *slot;
+        config_memory_.write(slot_id, 0, reg.key, sizeof(reg.key));
+        config_memory_.write(slot_id, sizeof(reg.key), reg.iv,
+                             sizeof(reg.iv));
+
+        sources_[reg.sbuf_page] =
+            SourceEntry{job, reg.dbuf_page, slot_id};
+        sbuf_message_[reg.sbuf_page] = reg.message_id;
+
+        Translation src_t;
+        src_t.kind = MappingKind::kConfigMemory;
+        src_t.offset = slot_id;
+        src_t.dest_page = reg.dbuf_page;
+        translation_.insert(reg.sbuf_page, src_t);
+    }
+
+    dests_[reg.dbuf_page] =
+        DestEntry{job, tag_only ? 0 : reg.sbuf_page, *scratch};
+    message_pages_[reg.message_id].push_back(reg.dbuf_page);
+
+    Translation dst_t;
+    dst_t.kind = MappingKind::kScratchpad;
+    dst_t.offset = *scratch;
+    translation_.insert(reg.dbuf_page, dst_t);
+
+    ++stats_.registrations;
+}
+
+void
+BufferDevice::registerDeflate(const std::uint8_t *data)
+{
+    const auto reg = DeflatePageRegistration::unpack(data);
+    auto job = std::make_shared<DeflateDsaJob>(
+        reg.payload_bytes, deflate_config_, config_.dsa_line_latency);
+
+    const auto slot = config_memory_.allocate();
+    SD_ASSERT(slot.has_value(), "config memory exhausted");
+    const auto scratch = scratchpad_.allocate();
+    SD_ASSERT(scratch.has_value(),
+              "scratchpad exhausted — software skipped the freePages "
+              "check (Alg. 2 lines 8-14)");
+
+    sources_[reg.sbuf_page] = SourceEntry{job, reg.dbuf_page, *slot};
+    dests_[reg.dbuf_page] = DestEntry{job, reg.sbuf_page, *scratch};
+
+    Translation src_t;
+    src_t.kind = MappingKind::kConfigMemory;
+    src_t.offset = *slot;
+    src_t.dest_page = reg.dbuf_page;
+    translation_.insert(reg.sbuf_page, src_t);
+
+    Translation dst_t;
+    dst_t.kind = MappingKind::kScratchpad;
+    dst_t.offset = *scratch;
+    translation_.insert(reg.dbuf_page, dst_t);
+
+    ++stats_.registrations;
+}
+
+void
+BufferDevice::handleMmioWrite(Addr addr, const std::uint8_t *data)
+{
+    ++stats_.mmio_writes;
+    const Addr off = addr - config_.mmio_base;
+    switch (static_cast<MmioReg>(off)) {
+      case MmioReg::kRegister: {
+        std::uint16_t opcode;
+        std::memcpy(&opcode, data, sizeof(opcode));
+        switch (static_cast<MmioOpcode>(opcode)) {
+          case MmioOpcode::kRegisterTlsPage:
+            registerTls(data);
+            break;
+          case MmioOpcode::kRegisterDeflatePage:
+            registerDeflate(data);
+            break;
+          default:
+            SD_WARN("unknown registration opcode %u", opcode);
+        }
+        break;
+      }
+      default:
+        break; // reserved registers ignore writes
+    }
+}
+
+void
+BufferDevice::materializeResults(std::uint64_t dbuf_page)
+{
+    auto it = dests_.find(dbuf_page);
+    if (it == dests_.end())
+        return;
+    DestEntry &entry = it->second;
+    std::uint8_t line_data[kCacheLineSize];
+    for (unsigned line = 0; line < kLinesPerPage; ++line) {
+        if (scratchpad_.lineComputed(entry.scratch_page, line))
+            continue;
+        if (entry.job->resultLine(line, line_data))
+            scratchpad_.writeLine(entry.scratch_page, line, line_data);
+    }
+}
+
+void
+BufferDevice::feedDsa(std::uint64_t sbuf_page, unsigned line,
+                      const std::uint8_t *data)
+{
+    auto it = sources_.find(sbuf_page);
+    SD_ASSERT(it != sources_.end(), "sbuf mapping without a job");
+    SourceEntry &entry = it->second;
+
+    // The DSA transform is functionally immediate; its latency is
+    // modelled by deferring the Scratchpad materialisation, so a too-
+    // early rdCAS/wrCAS of the destination line sees S13/S7.
+    std::vector<std::uint8_t> copy(data, data + kCacheLineSize);
+    auto job = entry.job;
+    const std::uint64_t dbuf_page = entry.dbuf_page;
+
+    const Cycles busy = job->processLine(line, copy.data());
+    const Tick ready_at =
+        events_.now() + buffer_clock_.toTicks(
+                            busy ? busy : config_.dsa_line_latency);
+    events_.schedule(ready_at,
+                     [this, dbuf_page] { materializeResults(dbuf_page); });
+
+    // When a TLS record just completed, trailer/tag lines on *other*
+    // destination pages of the same message become available too.
+    auto msg_it = sbuf_message_.find(sbuf_page);
+    if (msg_it != sbuf_message_.end()) {
+        const std::uint64_t message_id = msg_it->second;
+        auto pages_it = message_pages_.find(message_id);
+        if (pages_it != message_pages_.end()) {
+            for (std::uint64_t page : pages_it->second) {
+                if (page == dbuf_page)
+                    continue;
+                events_.schedule(ready_at, [this, page] {
+                    materializeResults(page);
+                });
+            }
+        }
+    }
+    ++stats_.sbuf_reads;
+}
+
+void
+BufferDevice::retirePage(std::uint64_t dbuf_page)
+{
+    auto it = dests_.find(dbuf_page);
+    if (it == dests_.end())
+        return;
+    const std::uint64_t sbuf_page = it->second.sbuf_page;
+    auto src = sources_.find(sbuf_page);
+    if (src != sources_.end() && src->second.dbuf_page == dbuf_page) {
+        config_memory_.release(src->second.config_slot);
+        translation_.erase(sbuf_page);
+        sources_.erase(src);
+        sbuf_message_.erase(sbuf_page);
+    }
+    translation_.erase(dbuf_page);
+    dests_.erase(it);
+
+    // Lazily sweep finished TLS message state.
+    for (auto ms = message_states_.begin(); ms != message_states_.end();) {
+        if (ms->second->complete()) {
+            message_pages_.erase(ms->first);
+            ms = message_states_.erase(ms);
+        } else {
+            ++ms;
+        }
+    }
+}
+
+mem::ReadResponse
+BufferDevice::onRead(const mem::DdrCommand &cmd, std::uint8_t *data)
+{
+    // The physical address was regenerated and verified at CAS-decode
+    // time (onCommand); the data phase uses the latched value.
+    const Addr addr = cmd.addr;
+
+    // S2/S3: config-space CAS?
+    if (isMmio(addr)) {
+        handleMmioRead(addr, data);
+        return mem::ReadResponse::kOk;
+    }
+
+    const std::uint64_t page = addr / kPageSize;
+    const unsigned line =
+        static_cast<unsigned>((addr % kPageSize) / kCacheLineSize);
+    const auto translation = translation_.lookup(page);
+
+    if (!translation) {
+        // S4/S5: non-acceleration range — plain DIMM behaviour.
+        store_.read(addr, data, kCacheLineSize);
+        ++stats_.plain_reads;
+        return mem::ReadResponse::kOk;
+    }
+
+    if (translation->kind == MappingKind::kConfigMemory) {
+        // S6: sbuf read. Host receives DRAM data unchanged; the tap
+        // feeds the DSA.
+        store_.read(addr, data, kCacheLineSize);
+        feedDsa(page, line, data);
+        return mem::ReadResponse::kOk;
+    }
+
+    // Destination page.
+    auto dest = dests_.find(page);
+    if (dest == dests_.end()) {
+        // Mapping raced with retirement; treat as plain DRAM.
+        store_.read(addr, data, kCacheLineSize);
+        ++stats_.plain_reads;
+        return mem::ReadResponse::kOk;
+    }
+    if (scratchpad_.lineComputed(dest->second.scratch_page, line)) {
+        // S10: serve the staged result from the Scratchpad.
+        scratchpad_.readLine(dest->second.scratch_page, line, data);
+        ++stats_.dbuf_scratch_reads;
+        return mem::ReadResponse::kOk;
+    }
+    // S13: computation pending — ALERT_N retry.
+    ++stats_.alert_n;
+    return mem::ReadResponse::kAlertN;
+}
+
+void
+BufferDevice::onWrite(const mem::DdrCommand &cmd, const std::uint8_t *data)
+{
+    const Addr addr = cmd.addr;
+
+    if (isMmio(addr)) {
+        handleMmioWrite(addr, data);
+        return;
+    }
+
+    const std::uint64_t page = addr / kPageSize;
+    const unsigned line =
+        static_cast<unsigned>((addr % kPageSize) / kCacheLineSize);
+    const auto translation = translation_.lookup(page);
+
+    if (!translation || translation->kind == MappingKind::kConfigMemory) {
+        // Plain write — includes writes to registered *source* pages
+        // (the application refilling a buffer).
+        store_.write(addr, data, kCacheLineSize);
+        ++stats_.plain_writes;
+        return;
+    }
+
+    auto dest = dests_.find(page);
+    if (dest == dests_.end()) {
+        store_.write(addr, data, kCacheLineSize);
+        ++stats_.plain_writes;
+        return;
+    }
+
+    if (!scratchpad_.linePending(dest->second.scratch_page, line)) {
+        // The line drained earlier (e.g. a Force-Recycle raced with a
+        // Self-Recycle): the destination behaves as regular memory.
+        store_.write(addr, data, kCacheLineSize);
+        ++stats_.plain_writes;
+        return;
+    }
+
+    if (!scratchpad_.lineComputed(dest->second.scratch_page, line)) {
+        // S7: DSA still computing — the write is ignored; the line
+        // stays pending in the Scratchpad.
+        ++stats_.dbuf_write_ignored;
+        return;
+    }
+
+    // S8/S9: Self-Recycle — replace the burst with the staged result
+    // on its way to DRAM and invalidate the Scratchpad line.
+    std::uint8_t staged[kCacheLineSize];
+    const bool page_freed =
+        scratchpad_.drainLine(dest->second.scratch_page, line, staged);
+    store_.write(addr, staged, kCacheLineSize);
+    ++stats_.dbuf_recycles;
+    if (page_freed)
+        retirePage(page);
+}
+
+} // namespace sd::smartdimm

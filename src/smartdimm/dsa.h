@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Domain-Specific Accelerator interface (Sec. V). A DSA is configured
+ * per offload with the context the CPU wrote through MMIO, then
+ * consumes 64-byte cachelines as rdCAS commands deliver them —
+ * possibly out of order for size-preserving ULPs, strictly in order
+ * for streaming ones — and produces result lines for the Scratchpad.
+ */
+
+#ifndef SD_SMARTDIMM_DSA_H
+#define SD_SMARTDIMM_DSA_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sd::smartdimm {
+
+/** Kinds of offloads the prototype supports. */
+enum class UlpKind : std::uint8_t
+{
+    kTlsEncrypt, ///< AES-GCM record protection (size-preserving)
+    kDeflate,    ///< page-granular compression (non-size-preserving)
+};
+
+/**
+ * Per-offload DSA state machine. One instance exists per registered
+ * source page; the arbiter feeds it lines and collects results.
+ */
+class DsaJob
+{
+  public:
+    virtual ~DsaJob() = default;
+
+    /** ULP this job implements. */
+    virtual UlpKind kind() const = 0;
+
+    /**
+     * Process the source page's cacheline @p line (0..63) carrying
+     * @p data. Appends zero or more result lines via resultLine().
+     * @return DSA busy time in buffer-device cycles for this line.
+     */
+    virtual Cycles processLine(unsigned line,
+                               const std::uint8_t *data) = 0;
+
+    /** @return true once every source line has been consumed. */
+    virtual bool complete() const = 0;
+
+    /**
+     * Whether the job requires in-order line delivery (Deflate). The
+     * CompCpy software inserts fences when true (Alg. 2 line 24).
+     */
+    virtual bool ordered() const = 0;
+
+    /**
+     * Result for destination line @p line. Size-preserving ULPs have
+     * a result per source line as soon as that source line processed;
+     * streaming ULPs produce results only at completion.
+     * @return true when the result line is available in @p out.
+     */
+    virtual bool resultLine(unsigned line, std::uint8_t *out) const = 0;
+
+    /** Valid destination bytes (== 4 KB for size-preserving ULPs). */
+    virtual std::size_t resultBytes() const = 0;
+};
+
+} // namespace sd::smartdimm
+
+#endif // SD_SMARTDIMM_DSA_H

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Wire format of SmartDIMM's 64-byte MMIO registers (Sec. IV-C): one
+ * write registers a source/destination page pair plus the context the
+ * DSA needs. The layouts are packed to fit a single 64-byte MMIO
+ * burst, exactly as the paper requires.
+ */
+
+#ifndef SD_SMARTDIMM_MMIO_LAYOUT_H
+#define SD_SMARTDIMM_MMIO_LAYOUT_H
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/types.h"
+
+namespace sd::smartdimm {
+
+/** Registration opcodes. */
+enum class MmioOpcode : std::uint16_t
+{
+    kRegisterTlsPage = 1,
+    kRegisterDeflatePage = 2,
+    kUnregisterPage = 3,
+};
+
+/** TLS page registration: 60 of 64 bytes used. */
+struct TlsPageRegistration
+{
+    std::uint16_t opcode = static_cast<std::uint16_t>(
+        MmioOpcode::kRegisterTlsPage);
+    std::uint16_t page_index = 0;  ///< page position within the record
+    std::uint32_t message_len = 0; ///< total plaintext bytes
+    std::uint64_t sbuf_page = 0;   ///< physical page number (addr>>12)
+    std::uint64_t dbuf_page = 0;
+    std::uint64_t message_id = 0;  ///< groups pages of one record
+    std::uint8_t key[16] = {};
+    std::uint8_t iv[12] = {};
+
+    /** Serialise into a 64-byte MMIO burst. */
+    void
+    pack(std::uint8_t out[kCacheLineSize]) const
+    {
+        std::memset(out, 0, kCacheLineSize);
+        std::memcpy(out, this, sizeof(*this));
+    }
+
+    static TlsPageRegistration
+    unpack(const std::uint8_t in[kCacheLineSize])
+    {
+        TlsPageRegistration reg;
+        std::memcpy(&reg, in, sizeof(reg));
+        return reg;
+    }
+};
+static_assert(sizeof(TlsPageRegistration) <= kCacheLineSize,
+              "registration must fit one MMIO burst");
+
+/** Deflate page registration. */
+struct DeflatePageRegistration
+{
+    std::uint16_t opcode = static_cast<std::uint16_t>(
+        MmioOpcode::kRegisterDeflatePage);
+    std::uint16_t payload_bytes = 0; ///< valid bytes in the source page
+    std::uint32_t reserved = 0;
+    std::uint64_t sbuf_page = 0;
+    std::uint64_t dbuf_page = 0;
+
+    void
+    pack(std::uint8_t out[kCacheLineSize]) const
+    {
+        std::memset(out, 0, kCacheLineSize);
+        std::memcpy(out, this, sizeof(*this));
+    }
+
+    static DeflatePageRegistration
+    unpack(const std::uint8_t in[kCacheLineSize])
+    {
+        DeflatePageRegistration reg;
+        std::memcpy(&reg, in, sizeof(reg));
+        return reg;
+    }
+};
+static_assert(sizeof(DeflatePageRegistration) <= kCacheLineSize,
+              "registration must fit one MMIO burst");
+
+} // namespace sd::smartdimm
+
+#endif // SD_SMARTDIMM_MMIO_LAYOUT_H

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Server system model: contention probe behaviour (Fig. 3's
+ * mechanism), placement orderings at the paper's operating points
+ * (Fig. 11/12), and the co-run coupling (Table I).
+ */
+
+#include <gtest/gtest.h>
+
+#include "app/antagonist.h"
+#include "app/contention_model.h"
+#include "app/server_model.h"
+
+namespace {
+
+using namespace sd;
+using app::ContentionWorkload;
+using app::evaluateServer;
+using app::McfLikeAntagonist;
+using app::measureContention;
+using app::ServerConfig;
+
+ServerConfig
+paperPoint(offload::PlacementKind placement, offload::Ulp ulp,
+           std::size_t msg)
+{
+    ServerConfig cfg;
+    cfg.placement = placement;
+    cfg.ulp = ulp;
+    cfg.message_bytes = msg;
+    return cfg;
+}
+
+TEST(Contention, LeakGrowsWithConnections)
+{
+    ContentionWorkload w;
+    w.message_bytes = 4096;
+    w.connections = 128;
+    const double low = measureContention(w).leak_fraction;
+    w.connections = 2048;
+    const double high = measureContention(w).leak_fraction;
+    EXPECT_LT(low, 0.1);
+    EXPECT_GT(high, 0.35);
+}
+
+TEST(Contention, AntagonistRaisesLeak)
+{
+    ContentionWorkload w;
+    w.connections = 512;
+    const double solo = measureContention(w).leak_fraction;
+    w.antagonist_mb = 1800;
+    w.antagonist_instances = 10;
+    const double corun = measureContention(w).leak_fraction;
+    EXPECT_GT(corun, solo);
+}
+
+TEST(Contention, Deterministic)
+{
+    ContentionWorkload w;
+    w.connections = 1024;
+    EXPECT_DOUBLE_EQ(measureContention(w).leak_fraction,
+                     measureContention(w).leak_fraction);
+}
+
+TEST(ServerModel, Fig11OrderingAt4K)
+{
+    const auto cpu = evaluateServer(paperPoint(
+        offload::PlacementKind::kCpu, offload::Ulp::kTlsEncrypt, 4096));
+    const auto nic = evaluateServer(
+        paperPoint(offload::PlacementKind::kSmartNic,
+                   offload::Ulp::kTlsEncrypt, 4096));
+    const auto qat = evaluateServer(
+        paperPoint(offload::PlacementKind::kQuickAssist,
+                   offload::Ulp::kTlsEncrypt, 4096));
+    const auto dimm = evaluateServer(
+        paperPoint(offload::PlacementKind::kSmartDimm,
+                   offload::Ulp::kTlsEncrypt, 4096));
+
+    // Paper: SmartDIMM +21% over CPU; SmartNIC and QAT no gain.
+    EXPECT_GT(dimm.rps, cpu.rps * 1.10);
+    EXPECT_LT(dimm.rps, cpu.rps * 1.35);
+    EXPECT_LE(nic.rps, cpu.rps * 1.05);
+    EXPECT_LT(qat.rps, cpu.rps * 0.7);
+    // Per-request memory traffic much lower for SmartDIMM.
+    EXPECT_LT(dimm.dram_bytes_per_request,
+              cpu.dram_bytes_per_request * 0.8);
+}
+
+TEST(ServerModel, Fig11SmartDimmGainGrowsWithMessageSize)
+{
+    const auto r4 = [&](offload::PlacementKind k) {
+        return evaluateServer(
+            paperPoint(k, offload::Ulp::kTlsEncrypt, 4096));
+    };
+    const auto r16 = [&](offload::PlacementKind k) {
+        return evaluateServer(
+            paperPoint(k, offload::Ulp::kTlsEncrypt, 16384));
+    };
+    const double gain4 = r4(offload::PlacementKind::kSmartDimm).rps /
+                         r4(offload::PlacementKind::kCpu).rps;
+    const double gain16 = r16(offload::PlacementKind::kSmartDimm).rps /
+                          r16(offload::PlacementKind::kCpu).rps;
+    EXPECT_GT(gain16, gain4); // paper: 21.0% -> 35.8%
+}
+
+TEST(ServerModel, Fig12CompressionFactors)
+{
+    const auto cpu = evaluateServer(paperPoint(
+        offload::PlacementKind::kCpu, offload::Ulp::kDeflate, 4096));
+    const auto dimm = evaluateServer(paperPoint(
+        offload::PlacementKind::kSmartDimm, offload::Ulp::kDeflate,
+        4096));
+    const auto qat = evaluateServer(
+        paperPoint(offload::PlacementKind::kQuickAssist,
+                   offload::Ulp::kDeflate, 4096));
+    // Paper: 5.09x at 4 KB; QAT no improvement.
+    EXPECT_GT(dimm.rps, cpu.rps * 3.5);
+    EXPECT_LT(dimm.rps, cpu.rps * 7.0);
+    EXPECT_LT(qat.rps, cpu.rps * 1.2);
+
+    const auto cpu16 = evaluateServer(paperPoint(
+        offload::PlacementKind::kCpu, offload::Ulp::kDeflate, 16384));
+    const auto dimm16 = evaluateServer(paperPoint(
+        offload::PlacementKind::kSmartDimm, offload::Ulp::kDeflate,
+        16384));
+    EXPECT_GT(dimm16.rps / cpu16.rps, dimm.rps / cpu.rps)
+        << "paper: 5.09x at 4 KB grows to 10.28x at 16 KB";
+}
+
+TEST(ServerModel, SmartNicUnsupportedForDeflate)
+{
+    const auto nic = evaluateServer(paperPoint(
+        offload::PlacementKind::kSmartNic, offload::Ulp::kDeflate,
+        4096));
+    EXPECT_FALSE(nic.supported);
+}
+
+TEST(ServerModel, Fig3HttpsBandwidthRatioRises)
+{
+    ServerConfig http;
+    http.ulp = offload::Ulp::kNone;
+    ServerConfig https;
+    https.ulp = offload::Ulp::kTlsEncrypt;
+
+    http.connections = https.connections = 128;
+    const double low = evaluateServer(https).mem_bandwidth_gbps /
+                       evaluateServer(http).mem_bandwidth_gbps;
+    http.connections = https.connections = 2048;
+    const double high = evaluateServer(https).mem_bandwidth_gbps /
+                        evaluateServer(http).mem_bandwidth_gbps;
+    EXPECT_GT(high, low);
+    EXPECT_GT(high, 1.8); // paper: up to ~2.5x
+    EXPECT_LT(high, 3.2);
+}
+
+TEST(ServerModel, TableIOrderings)
+{
+    auto corun = [](offload::PlacementKind kind) {
+        ServerConfig cfg = paperPoint(kind, offload::Ulp::kTlsEncrypt,
+                                      4096);
+        cfg.antagonist_mb = 1800;
+        cfg.antagonist_instances = 10;
+        return evaluateServer(cfg);
+    };
+    auto solo = [](offload::PlacementKind kind) {
+        return evaluateServer(
+            paperPoint(kind, offload::Ulp::kTlsEncrypt, 4096));
+    };
+
+    const double cpu_slow =
+        1.0 - corun(offload::PlacementKind::kCpu).rps /
+                  solo(offload::PlacementKind::kCpu).rps;
+    const double nic_slow =
+        1.0 - corun(offload::PlacementKind::kSmartNic).rps /
+                  solo(offload::PlacementKind::kSmartNic).rps;
+    const double qat_slow =
+        1.0 - corun(offload::PlacementKind::kQuickAssist).rps /
+                  solo(offload::PlacementKind::kQuickAssist).rps;
+    const double dimm_slow =
+        1.0 - corun(offload::PlacementKind::kSmartDimm).rps /
+                  solo(offload::PlacementKind::kSmartDimm).rps;
+
+    // Paper ordering: QAT worst, CPU next, SmartDIMM ~ SmartNIC best.
+    EXPECT_GT(qat_slow, cpu_slow);
+    EXPECT_GT(cpu_slow, dimm_slow);
+    EXPECT_GE(dimm_slow, nic_slow * 0.5);
+
+    // mcf-side: QAT worst, SmartNIC best, SmartDIMM close to CPU's
+    // range but with much higher absolute RPS.
+    const double cpu_mcf =
+        corun(offload::PlacementKind::kCpu).antagonist_slowdown;
+    const double qat_mcf =
+        corun(offload::PlacementKind::kQuickAssist).antagonist_slowdown;
+    const double nic_mcf =
+        corun(offload::PlacementKind::kSmartNic).antagonist_slowdown;
+    const double dimm_mcf =
+        corun(offload::PlacementKind::kSmartDimm).antagonist_slowdown;
+    EXPECT_GT(qat_mcf, cpu_mcf);
+    EXPECT_LT(nic_mcf, cpu_mcf);
+    EXPECT_LT(dimm_mcf, cpu_mcf);
+    EXPECT_GT(corun(offload::PlacementKind::kSmartDimm).rps,
+              corun(offload::PlacementKind::kSmartNic).rps);
+}
+
+TEST(Antagonist, PointerChaseVisitsEveryNode)
+{
+    cache::CacheConfig cfg;
+    cfg.size_bytes = 64 * 1024;
+    cache::Cache llc(cfg);
+    McfLikeAntagonist antagonist(256 * 1024, 5);
+    antagonist.walk(llc, 4096); // 4096 = node count of 256 KB set
+    EXPECT_EQ(antagonist.visited(), 4096u);
+    // A Sattolo cycle over a 4x-LLC working set misses heavily.
+    EXPECT_GT(llc.stats().missRate(), 0.5);
+}
+
+} // namespace

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Bit-field helpers used by the address mapper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.h"
+
+namespace {
+
+using namespace sd;
+
+TEST(Bitops, ExtractBits)
+{
+    EXPECT_EQ(bits(0xff00, 8, 8), 0xffu);
+    EXPECT_EQ(bits(0b101100, 2, 3), 0b011u);
+    EXPECT_EQ(bits(~0ULL, 0, 64), ~0ULL);
+    EXPECT_EQ(bits(0x1234, 0, 0), 0u);
+}
+
+TEST(Bitops, InsertBits)
+{
+    EXPECT_EQ(insertBits(0, 8, 8, 0xab), 0xab00u);
+    EXPECT_EQ(insertBits(0xffff, 4, 4, 0), 0xff0fu);
+    // Field wider than value is masked.
+    EXPECT_EQ(insertBits(0, 0, 4, 0x1f), 0xfu);
+}
+
+TEST(Bitops, InsertThenExtractRoundTrip)
+{
+    std::uint64_t v = 0;
+    v = insertBits(v, 6, 3, 0b101);
+    v = insertBits(v, 20, 14, 0x1abc);
+    EXPECT_EQ(bits(v, 6, 3), 0b101u);
+    EXPECT_EQ(bits(v, 20, 14), 0x1abcu);
+}
+
+TEST(Bitops, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+}
+
+TEST(Bitops, PowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(64));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(48));
+}
+
+} // namespace

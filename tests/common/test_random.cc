@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Deterministic PRNG behaviour and distribution sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace {
+
+using sd::Rng;
+
+TEST(Random, DeterministicFromSeed)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Random, BelowStaysInBounds)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Random, RangeInclusive)
+{
+    Rng rng(4);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.range(5, 8);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 8u);
+        saw_lo |= v == 5;
+        saw_hi |= v == 8;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Random, UniformInUnitInterval)
+{
+    Rng rng(5);
+    double sum = 0;
+    constexpr int kN = 10000;
+    for (int i = 0; i < kN; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(Random, ChanceExtremes)
+{
+    Rng rng(6);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Random, ChanceFrequency)
+{
+    Rng rng(7);
+    int hits = 0;
+    constexpr int kN = 20000;
+    for (int i = 0; i < kN; ++i)
+        hits += rng.chance(0.25);
+    EXPECT_NEAR(static_cast<double>(hits) / kN, 0.25, 0.02);
+}
+
+TEST(Random, ExponentialMean)
+{
+    Rng rng(8);
+    double sum = 0;
+    constexpr int kN = 20000;
+    for (int i = 0; i < kN; ++i)
+        sum += rng.exponential(10.0);
+    EXPECT_NEAR(sum / kN, 10.0, 0.5);
+}
+
+TEST(Random, ZipfSkewsTowardHead)
+{
+    Rng rng(9);
+    std::vector<int> counts(10, 0);
+    for (int i = 0; i < 5000; ++i)
+        ++counts[rng.zipf(10, 1.0)];
+    EXPECT_GT(counts[0], counts[9] * 3);
+}
+
+TEST(Random, FillCoversBuffer)
+{
+    Rng rng(10);
+    std::vector<std::uint8_t> buf(1031, 0);
+    rng.fill(buf.data(), buf.size());
+    int zeros = 0;
+    for (auto b : buf)
+        zeros += b == 0;
+    EXPECT_LT(zeros, 40); // ~1/256 expected
+}
+
+} // namespace

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Statistics primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.h"
+
+namespace {
+
+using sd::Average;
+using sd::Counter;
+using sd::Histogram;
+using sd::StatsRegistry;
+
+TEST(Stats, CounterBasics)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(5);
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, AverageTracksMoments)
+{
+    Average a;
+    EXPECT_EQ(a.mean(), 0.0);
+    a.sample(2);
+    a.sample(4);
+    a.sample(6);
+    EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 6.0);
+    EXPECT_EQ(a.count(), 3u);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(Stats, HistogramBuckets)
+{
+    Histogram h(0, 10, 10);
+    for (int i = 0; i < 10; ++i)
+        h.sample(i + 0.5);
+    for (std::size_t i = 0; i < 10; ++i)
+        EXPECT_EQ(h.buckets()[i], 1u);
+    EXPECT_EQ(h.count(), 10u);
+    EXPECT_NEAR(h.mean(), 5.0, 0.01);
+}
+
+TEST(Stats, HistogramClampsOutOfRange)
+{
+    Histogram h(0, 10, 10);
+    h.sample(-5);
+    h.sample(100);
+    EXPECT_EQ(h.buckets().front(), 1u);
+    EXPECT_EQ(h.buckets().back(), 1u);
+}
+
+TEST(Stats, HistogramPercentiles)
+{
+    Histogram h(0, 100, 100);
+    for (int i = 0; i < 100; ++i)
+        h.sample(i + 0.5);
+    EXPECT_NEAR(h.percentile(0.5), 50.0, 2.0);
+    EXPECT_NEAR(h.percentile(0.99), 99.0, 2.0);
+}
+
+TEST(Stats, RegistryRoundTrip)
+{
+    StatsRegistry reg;
+    reg.set("rps", 123456);
+    reg.set("cpu_util", 0.5);
+    EXPECT_DOUBLE_EQ(reg.get("rps"), 123456);
+    EXPECT_DOUBLE_EQ(reg.get("missing", -1), -1);
+
+    std::ostringstream os;
+    reg.dump(os);
+    EXPECT_NE(os.str().find("rps 123456"), std::string::npos);
+    EXPECT_NE(os.str().find("cpu_util 0.5"), std::string::npos);
+}
+
+} // namespace

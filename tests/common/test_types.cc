@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Address-geometry helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/types.h"
+
+namespace {
+
+using namespace sd;
+
+TEST(Types, LineAlignment)
+{
+    EXPECT_EQ(lineAlign(0), 0u);
+    EXPECT_EQ(lineAlign(63), 0u);
+    EXPECT_EQ(lineAlign(64), 64u);
+    EXPECT_EQ(lineAlign(0x1234), 0x1200u);
+}
+
+TEST(Types, PageAlignment)
+{
+    EXPECT_EQ(pageAlign(0), 0u);
+    EXPECT_EQ(pageAlign(4095), 0u);
+    EXPECT_EQ(pageAlign(4096), 4096u);
+    EXPECT_TRUE(isPageAligned(0));
+    EXPECT_TRUE(isPageAligned(8192));
+    EXPECT_FALSE(isPageAligned(4160));
+}
+
+TEST(Types, LineAlignedPredicate)
+{
+    EXPECT_TRUE(isLineAligned(0));
+    EXPECT_TRUE(isLineAligned(128));
+    EXPECT_FALSE(isLineAligned(65));
+}
+
+TEST(Types, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 4), 0u);
+    EXPECT_EQ(divCeil(1, 4), 1u);
+    EXPECT_EQ(divCeil(4, 4), 1u);
+    EXPECT_EQ(divCeil(5, 4), 2u);
+}
+
+TEST(Types, GeometryConstants)
+{
+    EXPECT_EQ(kLinesPerPage, 64u);
+    EXPECT_EQ(kPageSize, kCacheLineSize * kLinesPerPage);
+}
+
+} // namespace

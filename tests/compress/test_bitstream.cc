@@ -1,0 +1,105 @@
+/**
+ * @file
+ * LSB-first bit reader/writer round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "compress/bitstream.h"
+
+namespace {
+
+using sd::Rng;
+using sd::compress::BitReader;
+using sd::compress::BitWriter;
+
+TEST(Bitstream, SingleByteRoundTrip)
+{
+    BitWriter w;
+    w.put(0b101, 3);
+    w.put(0b11, 2);
+    w.put(0b010, 3);
+    auto bytes = w.finish();
+    ASSERT_EQ(bytes.size(), 1u);
+    // LSB-first packing: 101 then 11 then 010 -> 0b010'11'101.
+    EXPECT_EQ(bytes[0], 0b01011101);
+
+    BitReader r(bytes.data(), bytes.size());
+    EXPECT_EQ(r.take(3), 0b101u);
+    EXPECT_EQ(r.take(2), 0b11u);
+    EXPECT_EQ(r.take(3), 0b010u);
+}
+
+TEST(Bitstream, RandomRunsRoundTrip)
+{
+    Rng rng(11);
+    std::vector<std::pair<std::uint32_t, unsigned>> runs;
+    BitWriter w;
+    for (int i = 0; i < 2000; ++i) {
+        const unsigned count = 1 + static_cast<unsigned>(rng.below(24));
+        const std::uint32_t value =
+            static_cast<std::uint32_t>(rng.next()) &
+            ((count >= 32 ? 0 : (1u << count)) - 1);
+        runs.emplace_back(value, count);
+        w.put(value, count);
+    }
+    auto bytes = w.finish();
+    BitReader r(bytes.data(), bytes.size());
+    for (const auto &[value, count] : runs)
+        ASSERT_EQ(r.take(count), value);
+}
+
+TEST(Bitstream, ByteAlignment)
+{
+    BitWriter w;
+    w.put(1, 1);
+    w.alignByte();
+    w.put(0xab, 8);
+    auto bytes = w.finish();
+    ASSERT_EQ(bytes.size(), 2u);
+    EXPECT_EQ(bytes[0], 0x01);
+    EXPECT_EQ(bytes[1], 0xab);
+
+    BitReader r(bytes.data(), bytes.size());
+    EXPECT_EQ(r.takeBit(), 1u);
+    r.alignByte();
+    EXPECT_EQ(r.take(8), 0xabu);
+}
+
+TEST(Bitstream, HuffmanBitOrderIsMsbFirst)
+{
+    // A 3-bit code 0b110 must appear on the wire as bits 1,1,0.
+    BitWriter w;
+    w.putHuffman(0b110, 3);
+    auto bytes = w.finish();
+    BitReader r(bytes.data(), bytes.size());
+    EXPECT_EQ(r.takeBit(), 1u);
+    EXPECT_EQ(r.takeBit(), 1u);
+    EXPECT_EQ(r.takeBit(), 0u);
+}
+
+TEST(Bitstream, BitCountTracksWrites)
+{
+    BitWriter w;
+    EXPECT_EQ(w.bitCount(), 0u);
+    w.put(0, 5);
+    EXPECT_EQ(w.bitCount(), 5u);
+    w.put(0, 11);
+    EXPECT_EQ(w.bitCount(), 16u);
+}
+
+TEST(Bitstream, ExhaustionDetection)
+{
+    BitWriter w;
+    w.put(0xff, 8);
+    auto bytes = w.finish();
+    BitReader r(bytes.data(), bytes.size());
+    EXPECT_FALSE(r.exhausted());
+    r.take(8);
+    EXPECT_TRUE(r.exhausted());
+}
+
+} // namespace

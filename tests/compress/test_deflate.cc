@@ -1,0 +1,168 @@
+/**
+ * @file
+ * DEFLATE codec: round trips across strategies and corpora, block
+ * types, and ratio sanity checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/random.h"
+#include "compress/deflate.h"
+
+namespace {
+
+using sd::Rng;
+using sd::compress::deflateCompress;
+using sd::compress::deflateDecompress;
+using sd::compress::DeflateStrategy;
+
+std::vector<std::uint8_t>
+htmlCorpus(std::size_t len, std::uint64_t seed)
+{
+    Rng rng(seed);
+    static const char *snippets[] = {
+        "<html><head><title>SmartDIMM</title></head>",
+        "<p>Upper layer protocols consume datacenter cycles.</p>",
+        "<a href=\"/docs/index.html\">documentation</a>",
+        "div.container { margin: 0 auto; padding: 16px; }",
+        "0123456789abcdef",
+    };
+    std::vector<std::uint8_t> out;
+    while (out.size() < len) {
+        const char *p = snippets[rng.below(5)];
+        out.insert(out.end(), p, p + std::strlen(p));
+        if (rng.chance(0.1))
+            out.push_back(static_cast<std::uint8_t>(rng.next()));
+    }
+    out.resize(len);
+    return out;
+}
+
+std::vector<std::uint8_t>
+randomBytes(std::size_t len, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint8_t> out(len);
+    rng.fill(out.data(), len);
+    return out;
+}
+
+class DeflateRoundTrip
+    : public ::testing::TestWithParam<std::tuple<DeflateStrategy,
+                                                 std::size_t>>
+{
+};
+
+TEST_P(DeflateRoundTrip, CompressibleCorpus)
+{
+    const auto [strategy, len] = GetParam();
+    const auto data = htmlCorpus(len, len);
+    const auto result = deflateCompress(data.data(), data.size(), strategy);
+    const auto back =
+        deflateDecompress(result.bytes.data(), result.bytes.size());
+    EXPECT_EQ(back, data);
+}
+
+TEST_P(DeflateRoundTrip, IncompressibleCorpus)
+{
+    const auto [strategy, len] = GetParam();
+    const auto data = randomBytes(len, len + 999);
+    const auto result = deflateCompress(data.data(), data.size(), strategy);
+    const auto back =
+        deflateDecompress(result.bytes.data(), result.bytes.size());
+    EXPECT_EQ(back, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StrategyBySize, DeflateRoundTrip,
+    ::testing::Combine(::testing::Values(DeflateStrategy::kFixed,
+                                         DeflateStrategy::kDynamic,
+                                         DeflateStrategy::kStored),
+                       ::testing::Values(1, 63, 64, 4096, 20000, 70000)));
+
+TEST(Deflate, CompressibleDataShrinks)
+{
+    const auto data = htmlCorpus(1 << 16, 3);
+    const auto result = deflateCompress(data.data(), data.size(),
+                                        DeflateStrategy::kDynamic);
+    EXPECT_LT(result.bytes.size(), data.size() / 2)
+        << "expected >2x compression on repetitive HTML";
+}
+
+TEST(Deflate, DynamicBeatsFixedOnSkewedData)
+{
+    // Corpus made almost entirely of one byte value: dynamic tables
+    // should easily beat the fixed 8-bit literal codes.
+    std::vector<std::uint8_t> data(1 << 14, 'e');
+    Rng rng(4);
+    for (int i = 0; i < 100; ++i)
+        data[rng.below(data.size())] = static_cast<std::uint8_t>(rng.next());
+
+    const auto fixed = deflateCompress(data.data(), data.size(),
+                                       DeflateStrategy::kFixed);
+    const auto dynamic = deflateCompress(data.data(), data.size(),
+                                         DeflateStrategy::kDynamic);
+    EXPECT_LT(dynamic.bytes.size(), fixed.bytes.size());
+}
+
+TEST(Deflate, StoredBlocksAddBoundedOverhead)
+{
+    const auto data = randomBytes(100000, 5);
+    const auto result = deflateCompress(data.data(), data.size(),
+                                        DeflateStrategy::kStored);
+    // 5 bytes per 65535-byte block plus one partial block.
+    EXPECT_LE(result.bytes.size(), data.size() + 5 * 3);
+    EXPECT_EQ(deflateDecompress(result.bytes.data(), result.bytes.size()),
+              data);
+}
+
+TEST(Deflate, EmptyInputProducesDecodableStream)
+{
+    const auto result =
+        deflateCompress(nullptr, 0, DeflateStrategy::kDynamic);
+    EXPECT_FALSE(result.bytes.empty());
+    EXPECT_TRUE(
+        deflateDecompress(result.bytes.data(), result.bytes.size())
+            .empty());
+}
+
+TEST(Deflate, LongRunsOfZeros)
+{
+    std::vector<std::uint8_t> data(1 << 15, 0);
+    const auto result = deflateCompress(data.data(), data.size(),
+                                        DeflateStrategy::kDynamic);
+    EXPECT_LT(result.bytes.size(), 512u);
+    EXPECT_EQ(deflateDecompress(result.bytes.data(), result.bytes.size()),
+              data);
+}
+
+TEST(Deflate, AllByteValuesRoundTrip)
+{
+    std::vector<std::uint8_t> data;
+    for (int rep = 0; rep < 16; ++rep)
+        for (int b = 0; b < 256; ++b)
+            data.push_back(static_cast<std::uint8_t>(b));
+    for (auto strategy : {DeflateStrategy::kFixed,
+                          DeflateStrategy::kDynamic}) {
+        const auto result =
+            deflateCompress(data.data(), data.size(), strategy);
+        EXPECT_EQ(
+            deflateDecompress(result.bytes.data(), result.bytes.size()),
+            data);
+    }
+}
+
+TEST(Deflate, RatioHelper)
+{
+    const auto data = htmlCorpus(4096, 6);
+    const auto result = deflateCompress(data.data(), data.size(),
+                                        DeflateStrategy::kDynamic);
+    EXPECT_GT(result.ratio(data.size()), 1.0);
+}
+
+} // namespace

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Canonical Huffman construction: Kraft validity, length limits,
+ * optimality sanity and encode/decode round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/random.h"
+#include "compress/bitstream.h"
+#include "compress/huffman.h"
+
+namespace {
+
+using sd::Rng;
+using sd::compress::BitReader;
+using sd::compress::BitWriter;
+using sd::compress::canonicalCodes;
+using sd::compress::HuffmanDecoder;
+using sd::compress::huffmanCodeLengths;
+
+/** Kraft sum scaled by 2^max_bits. */
+std::uint64_t
+kraftSum(const std::vector<std::uint8_t> &lengths, unsigned max_bits)
+{
+    std::uint64_t sum = 0;
+    for (auto l : lengths)
+        if (l)
+            sum += 1ULL << (max_bits - l);
+    return sum;
+}
+
+TEST(Huffman, EmptyFrequencies)
+{
+    const auto lengths = huffmanCodeLengths({0, 0, 0}, 15);
+    for (auto l : lengths)
+        EXPECT_EQ(l, 0);
+}
+
+TEST(Huffman, SingleSymbolGetsOneBit)
+{
+    const auto lengths = huffmanCodeLengths({0, 7, 0}, 15);
+    EXPECT_EQ(lengths[1], 1);
+}
+
+TEST(Huffman, KraftInequalityHolds)
+{
+    Rng rng(21);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<std::uint64_t> freqs(64);
+        for (auto &f : freqs)
+            f = rng.below(1000);
+        const auto lengths = huffmanCodeLengths(freqs, 15);
+        EXPECT_LE(kraftSum(lengths, 15), 1ULL << 15);
+    }
+}
+
+TEST(Huffman, LengthLimitRespected)
+{
+    // Fibonacci-like frequencies force deep trees; the limiter must
+    // clamp them to max_bits while keeping the code valid.
+    std::vector<std::uint64_t> freqs;
+    std::uint64_t a = 1;
+    std::uint64_t b = 1;
+    for (int i = 0; i < 40; ++i) {
+        freqs.push_back(a);
+        const std::uint64_t next = a + b;
+        a = b;
+        b = next;
+    }
+    for (unsigned max_bits : {7u, 10u, 15u}) {
+        const auto lengths = huffmanCodeLengths(freqs, max_bits);
+        for (auto l : lengths)
+            EXPECT_LE(l, max_bits);
+        EXPECT_LE(kraftSum(lengths, max_bits), 1ULL << max_bits);
+    }
+}
+
+TEST(Huffman, MoreFrequentSymbolsGetShorterCodes)
+{
+    std::vector<std::uint64_t> freqs{1000, 1, 500, 2};
+    const auto lengths = huffmanCodeLengths(freqs, 15);
+    EXPECT_LE(lengths[0], lengths[1]);
+    EXPECT_LE(lengths[2], lengths[3]);
+}
+
+TEST(Huffman, CanonicalCodesArePrefixFree)
+{
+    Rng rng(23);
+    std::vector<std::uint64_t> freqs(32);
+    for (auto &f : freqs)
+        f = 1 + rng.below(100);
+    const auto lengths = huffmanCodeLengths(freqs, 15);
+    const auto codes = canonicalCodes(lengths);
+
+    for (std::size_t a = 0; a < codes.size(); ++a) {
+        for (std::size_t b = 0; b < codes.size(); ++b) {
+            if (a == b || !codes[a].length || !codes[b].length)
+                continue;
+            if (codes[a].length > codes[b].length)
+                continue;
+            // codes[a] must not be a prefix of codes[b].
+            const unsigned shift = codes[b].length - codes[a].length;
+            EXPECT_NE(codes[b].code >> shift, codes[a].code)
+                << "symbol " << a << " prefixes " << b;
+        }
+    }
+}
+
+TEST(Huffman, EncodeDecodeRoundTrip)
+{
+    Rng rng(24);
+    for (int trial = 0; trial < 10; ++trial) {
+        const std::size_t alphabet = 4 + rng.below(252);
+        std::vector<std::uint64_t> freqs(alphabet);
+        for (auto &f : freqs)
+            f = rng.below(50); // some symbols unused
+
+        // Ensure at least two used symbols.
+        freqs[0] += 1;
+        freqs[alphabet - 1] += 1;
+
+        const auto lengths = huffmanCodeLengths(freqs, 15);
+        const auto codes = canonicalCodes(lengths);
+        HuffmanDecoder decoder(lengths);
+        ASSERT_TRUE(decoder.valid());
+
+        // Encode a random message drawn from used symbols.
+        std::vector<std::uint16_t> message;
+        for (int i = 0; i < 500; ++i) {
+            std::uint16_t s;
+            do {
+                s = static_cast<std::uint16_t>(rng.below(alphabet));
+            } while (lengths[s] == 0);
+            message.push_back(s);
+        }
+
+        BitWriter writer;
+        for (auto s : message)
+            writer.putHuffman(codes[s].code, codes[s].length);
+        const auto bytes = writer.finish();
+
+        BitReader reader(bytes.data(), bytes.size());
+        for (auto expect : message)
+            ASSERT_EQ(decoder.decode(reader), expect);
+    }
+}
+
+TEST(Huffman, DecoderHandlesUniformAlphabet)
+{
+    // 256 equally likely symbols -> all codes 8 bits.
+    std::vector<std::uint64_t> freqs(256, 10);
+    const auto lengths = huffmanCodeLengths(freqs, 15);
+    for (auto l : lengths)
+        EXPECT_EQ(l, 8);
+}
+
+} // namespace

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * AES block cipher against FIPS-197 appendix vectors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+
+#include "crypto/aes.h"
+
+namespace {
+
+using sd::crypto::Aes;
+
+std::array<std::uint8_t, 16>
+hexBlock(const char *hex)
+{
+    std::array<std::uint8_t, 16> out{};
+    for (int i = 0; i < 16; ++i) {
+        unsigned v;
+        std::sscanf(hex + 2 * i, "%2x", &v);
+        out[i] = static_cast<std::uint8_t>(v);
+    }
+    return out;
+}
+
+TEST(Aes, Fips197Aes128Vector)
+{
+    // FIPS-197 Appendix C.1.
+    const auto key = hexBlock("000102030405060708090a0b0c0d0e0f");
+    const auto plain = hexBlock("00112233445566778899aabbccddeeff");
+    const auto expect = hexBlock("69c4e0d86a7b0430d8cdb78070b4c55a");
+
+    Aes aes(key.data(), Aes::KeySize::k128);
+    std::uint8_t out[16];
+    aes.encryptBlock(plain.data(), out);
+    EXPECT_EQ(0, std::memcmp(out, expect.data(), 16));
+}
+
+TEST(Aes, Fips197Aes256Vector)
+{
+    // FIPS-197 Appendix C.3.
+    std::uint8_t key[32];
+    for (int i = 0; i < 32; ++i)
+        key[i] = static_cast<std::uint8_t>(i);
+    const auto plain = hexBlock("00112233445566778899aabbccddeeff");
+    const auto expect = hexBlock("8ea2b7ca516745bfeafc49904b496089");
+
+    Aes aes(key, Aes::KeySize::k256);
+    std::uint8_t out[16];
+    aes.encryptBlock(plain.data(), out);
+    EXPECT_EQ(0, std::memcmp(out, expect.data(), 16));
+}
+
+TEST(Aes, RoundCounts)
+{
+    const auto key128 = hexBlock("000102030405060708090a0b0c0d0e0f");
+    Aes a128(key128.data(), Aes::KeySize::k128);
+    EXPECT_EQ(a128.rounds(), 10);
+
+    std::uint8_t key256[32] = {};
+    Aes a256(key256, Aes::KeySize::k256);
+    EXPECT_EQ(a256.rounds(), 14);
+}
+
+TEST(Aes, EncryptionIsDeterministic)
+{
+    const auto key = hexBlock("2b7e151628aed2a6abf7158809cf4f3c");
+    Aes aes(key.data(), Aes::KeySize::k128);
+    const auto plain = hexBlock("6bc1bee22e409f96e93d7e117393172a");
+    std::uint8_t out1[16];
+    std::uint8_t out2[16];
+    aes.encryptBlock(plain.data(), out1);
+    aes.encryptBlock(plain.data(), out2);
+    EXPECT_EQ(0, std::memcmp(out1, out2, 16));
+}
+
+TEST(Aes, Sp800_38aEcbVector)
+{
+    // SP 800-38A F.1.1 ECB-AES128 block #1.
+    const auto key = hexBlock("2b7e151628aed2a6abf7158809cf4f3c");
+    const auto plain = hexBlock("6bc1bee22e409f96e93d7e117393172a");
+    const auto expect = hexBlock("3ad77bb40d7a3660a89ecaf32466ef97");
+
+    Aes aes(key.data(), Aes::KeySize::k128);
+    std::uint8_t out[16];
+    aes.encryptBlock(plain.data(), out);
+    EXPECT_EQ(0, std::memcmp(out, expect.data(), 16));
+}
+
+TEST(Aes, InPlaceEncryption)
+{
+    const auto key = hexBlock("000102030405060708090a0b0c0d0e0f");
+    Aes aes(key.data(), Aes::KeySize::k128);
+    auto buf = hexBlock("00112233445566778899aabbccddeeff");
+    const auto expect = hexBlock("69c4e0d86a7b0430d8cdb78070b4c55a");
+    aes.encryptBlock(buf.data(), buf.data());
+    EXPECT_EQ(buf, expect);
+}
+
+} // namespace

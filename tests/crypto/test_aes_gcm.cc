@@ -1,0 +1,200 @@
+/**
+ * @file
+ * AES-GCM one-shot encryption against NIST SP 800-38D example vectors
+ * plus round-trip and tamper-detection properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/random.h"
+#include "crypto/aes_gcm.h"
+
+namespace {
+
+using sd::Rng;
+using sd::crypto::Aes;
+using sd::crypto::GcmContext;
+using sd::crypto::GcmIv;
+using sd::crypto::GcmTag;
+
+std::vector<std::uint8_t>
+hexBytes(const char *hex)
+{
+    std::vector<std::uint8_t> out;
+    for (std::size_t i = 0; hex[i] && hex[i + 1]; i += 2) {
+        unsigned v;
+        std::sscanf(hex + i, "%2x", &v);
+        out.push_back(static_cast<std::uint8_t>(v));
+    }
+    return out;
+}
+
+GcmIv
+ivFrom(const std::vector<std::uint8_t> &bytes)
+{
+    GcmIv iv{};
+    std::memcpy(iv.data(), bytes.data(), 12);
+    return iv;
+}
+
+// NIST GCM test case 1: empty plaintext, zero key/IV.
+TEST(AesGcm, NistCase1EmptyMessageTag)
+{
+    const auto key = hexBytes("00000000000000000000000000000000");
+    const auto iv = ivFrom(hexBytes("000000000000000000000000"));
+    GcmContext ctx(key.data(), Aes::KeySize::k128);
+
+    const GcmTag tag = ctx.encrypt(iv, nullptr, 0, nullptr);
+    const auto expect = hexBytes("58e2fccefa7e3061367f1d57a4e7455a");
+    EXPECT_EQ(0, std::memcmp(tag.data(), expect.data(), 16));
+}
+
+// NIST GCM test case 2: one zero block.
+TEST(AesGcm, NistCase2SingleBlock)
+{
+    const auto key = hexBytes("00000000000000000000000000000000");
+    const auto iv = ivFrom(hexBytes("000000000000000000000000"));
+    GcmContext ctx(key.data(), Aes::KeySize::k128);
+
+    std::uint8_t plain[16] = {};
+    std::uint8_t cipher[16];
+    const GcmTag tag = ctx.encrypt(iv, plain, 16, cipher);
+
+    const auto expect_c = hexBytes("0388dace60b6a392f328c2b971b2fe78");
+    const auto expect_t = hexBytes("ab6e47d42cec13bdf53a67b21257bddf");
+    EXPECT_EQ(0, std::memcmp(cipher, expect_c.data(), 16));
+    EXPECT_EQ(0, std::memcmp(tag.data(), expect_t.data(), 16));
+}
+
+// NIST GCM test case 3: 4 blocks, non-trivial key/IV.
+TEST(AesGcm, NistCase3FourBlocks)
+{
+    const auto key = hexBytes("feffe9928665731c6d6a8f9467308308");
+    const auto iv = ivFrom(hexBytes("cafebabefacedbaddecaf888"));
+    const auto plain = hexBytes(
+        "d9313225f88406e5a55909c5aff5269a"
+        "86a7a9531534f7da2e4c303d8a318a72"
+        "1c3c0c95956809532fcf0e2449a6b525"
+        "b16aedf5aa0de657ba637b391aafd255");
+    const auto expect_c = hexBytes(
+        "42831ec2217774244b7221b784d0d49c"
+        "e3aa212f2c02a4e035c17e2329aca12e"
+        "21d514b25466931c7d8f6a5aac84aa05"
+        "1ba30b396a0aac973d58e091473f5985");
+    const auto expect_t = hexBytes("4d5c2af327cd64a62cf35abd2ba6fab4");
+
+    GcmContext ctx(key.data(), Aes::KeySize::k128);
+    std::vector<std::uint8_t> cipher(plain.size());
+    const GcmTag tag =
+        ctx.encrypt(iv, plain.data(), plain.size(), cipher.data());
+    EXPECT_EQ(cipher, expect_c);
+    EXPECT_EQ(0, std::memcmp(tag.data(), expect_t.data(), 16));
+}
+
+// NIST GCM test case 4: partial final block + AAD.
+TEST(AesGcm, NistCase4AadPartialBlock)
+{
+    const auto key = hexBytes("feffe9928665731c6d6a8f9467308308");
+    const auto iv = ivFrom(hexBytes("cafebabefacedbaddecaf888"));
+    const auto plain = hexBytes(
+        "d9313225f88406e5a55909c5aff5269a"
+        "86a7a9531534f7da2e4c303d8a318a72"
+        "1c3c0c95956809532fcf0e2449a6b525"
+        "b16aedf5aa0de657ba637b39");
+    const auto aad = hexBytes(
+        "feedfacedeadbeeffeedfacedeadbeefabaddad2");
+    const auto expect_t = hexBytes("5bc94fbc3221a5db94fae95ae7121a47");
+
+    GcmContext ctx(key.data(), Aes::KeySize::k128);
+    std::vector<std::uint8_t> cipher(plain.size());
+    const GcmTag tag = ctx.encrypt(iv, plain.data(), plain.size(),
+                                   cipher.data(), aad.data(), aad.size());
+    EXPECT_EQ(0, std::memcmp(tag.data(), expect_t.data(), 16));
+}
+
+TEST(AesGcm, RoundTripRandomSizes)
+{
+    Rng rng(42);
+    std::uint8_t key[16];
+    rng.fill(key, 16);
+    GcmContext ctx(key, Aes::KeySize::k128);
+
+    for (std::size_t len : {1u, 15u, 16u, 17u, 63u, 64u, 65u, 1000u,
+                            4096u, 5000u}) {
+        std::vector<std::uint8_t> plain(len);
+        rng.fill(plain.data(), len);
+        GcmIv iv{};
+        rng.fill(iv.data(), iv.size());
+
+        std::vector<std::uint8_t> cipher(len);
+        const GcmTag tag =
+            ctx.encrypt(iv, plain.data(), len, cipher.data());
+
+        std::vector<std::uint8_t> back(len);
+        ASSERT_TRUE(
+            ctx.decrypt(iv, cipher.data(), len, tag, back.data()))
+            << "len " << len;
+        EXPECT_EQ(back, plain) << "len " << len;
+    }
+}
+
+TEST(AesGcm, TamperedCiphertextFailsAuth)
+{
+    Rng rng(43);
+    std::uint8_t key[16];
+    rng.fill(key, 16);
+    GcmContext ctx(key, Aes::KeySize::k128);
+
+    std::vector<std::uint8_t> plain(256);
+    rng.fill(plain.data(), plain.size());
+    GcmIv iv{};
+    std::vector<std::uint8_t> cipher(plain.size());
+    const GcmTag tag =
+        ctx.encrypt(iv, plain.data(), plain.size(), cipher.data());
+
+    cipher[100] ^= 1;
+    std::vector<std::uint8_t> back(plain.size());
+    EXPECT_FALSE(
+        ctx.decrypt(iv, cipher.data(), cipher.size(), tag, back.data()));
+}
+
+TEST(AesGcm, TamperedTagFailsAuth)
+{
+    Rng rng(44);
+    std::uint8_t key[16];
+    rng.fill(key, 16);
+    GcmContext ctx(key, Aes::KeySize::k128);
+
+    std::vector<std::uint8_t> plain(64);
+    rng.fill(plain.data(), plain.size());
+    GcmIv iv{};
+    std::vector<std::uint8_t> cipher(plain.size());
+    GcmTag tag = ctx.encrypt(iv, plain.data(), plain.size(), cipher.data());
+    tag[0] ^= 0x80;
+    std::vector<std::uint8_t> back(plain.size());
+    EXPECT_FALSE(
+        ctx.decrypt(iv, cipher.data(), cipher.size(), tag, back.data()));
+}
+
+TEST(AesGcm, DistinctIvsProduceDistinctCiphertext)
+{
+    Rng rng(45);
+    std::uint8_t key[16];
+    rng.fill(key, 16);
+    GcmContext ctx(key, Aes::KeySize::k128);
+
+    std::vector<std::uint8_t> plain(128, 0xaa);
+    GcmIv iv1{};
+    GcmIv iv2{};
+    iv2[11] = 1;
+    std::vector<std::uint8_t> c1(plain.size());
+    std::vector<std::uint8_t> c2(plain.size());
+    ctx.encrypt(iv1, plain.data(), plain.size(), c1.data());
+    ctx.encrypt(iv2, plain.data(), plain.size(), c2.data());
+    EXPECT_NE(c1, c2);
+}
+
+} // namespace

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Address mapping: decompose/compose inverse property (the on-DIMM
+ * Addr Remap correctness), interleaving layouts, and geometry limits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "mem/address_map.h"
+
+namespace {
+
+using namespace sd;
+using mem::AddressMap;
+using mem::ChannelInterleave;
+using mem::DramCoord;
+using mem::DramGeometry;
+
+TEST(AddressMap, ComposeInvertsDecomposeSingleChannel)
+{
+    DramGeometry g;
+    g.channels = 1;
+    AddressMap map(g, ChannelInterleave::kNone);
+    Rng rng(1);
+    for (int i = 0; i < 2000; ++i) {
+        const Addr addr = lineAlign(rng.below(g.channel_bytes));
+        EXPECT_EQ(map.compose(map.decompose(addr)), addr);
+    }
+}
+
+TEST(AddressMap, ComposeInvertsDecomposeLineInterleave)
+{
+    DramGeometry g;
+    g.channels = 4;
+    AddressMap map(g, ChannelInterleave::kLine);
+    Rng rng(2);
+    for (int i = 0; i < 2000; ++i) {
+        const Addr addr =
+            lineAlign(rng.below(g.channel_bytes * g.channels));
+        EXPECT_EQ(map.compose(map.decompose(addr)), addr);
+    }
+}
+
+TEST(AddressMap, ComposeInvertsDecomposePageInterleave)
+{
+    DramGeometry g;
+    g.channels = 2;
+    AddressMap map(g, ChannelInterleave::kPage);
+    Rng rng(3);
+    for (int i = 0; i < 2000; ++i) {
+        const Addr addr =
+            lineAlign(rng.below(g.channel_bytes * g.channels));
+        EXPECT_EQ(map.compose(map.decompose(addr)), addr);
+    }
+}
+
+TEST(AddressMap, LineInterleaveRotatesChannels)
+{
+    DramGeometry g;
+    g.channels = 4;
+    AddressMap map(g, ChannelInterleave::kLine);
+    for (Addr line = 0; line < 16; ++line) {
+        const auto coord = map.decompose(line * kCacheLineSize);
+        EXPECT_EQ(coord.channel, line % 4);
+    }
+}
+
+TEST(AddressMap, PageInterleaveKeepsPageTogether)
+{
+    DramGeometry g;
+    g.channels = 2;
+    AddressMap map(g, ChannelInterleave::kPage);
+    // All 64 lines of one page map to one channel.
+    for (Addr page = 0; page < 8; ++page) {
+        const unsigned ch =
+            map.decompose(page * kPageSize).channel;
+        for (Addr l = 0; l < kLinesPerPage; ++l)
+            EXPECT_EQ(
+                map.decompose(page * kPageSize + l * kCacheLineSize)
+                    .channel,
+                ch);
+        EXPECT_EQ(ch, page % 2);
+    }
+}
+
+TEST(AddressMap, SingleChannelModeUsesChannelZero)
+{
+    DramGeometry g;
+    g.channels = 1;
+    AddressMap map(g, ChannelInterleave::kNone);
+    Rng rng(4);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(map.decompose(lineAlign(rng.below(1ULL << 34))).channel,
+                  0u);
+}
+
+TEST(AddressMap, SequentialPagesStripeAcrossBanks)
+{
+    DramGeometry g;
+    g.channels = 1;
+    AddressMap map(g, ChannelInterleave::kNone);
+    // Consecutive rows-worth of data land in different banks before
+    // reusing a bank (col bits below bank bits).
+    const auto c0 = map.decompose(0);
+    const auto c1 = map.decompose(g.row_bytes);
+    EXPECT_NE(c0.flatBank(g), c1.flatBank(g));
+}
+
+TEST(AddressMap, CoordFieldsWithinGeometry)
+{
+    DramGeometry g;
+    g.channels = 2;
+    AddressMap map(g, ChannelInterleave::kLine);
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const auto coord = map.decompose(
+            lineAlign(rng.below(g.channel_bytes * g.channels)));
+        EXPECT_LT(coord.channel, g.channels);
+        EXPECT_LT(coord.rank, g.ranks);
+        EXPECT_LT(coord.bank_group, g.bank_groups);
+        EXPECT_LT(coord.bank, g.banks_per_group);
+        EXPECT_LT(coord.col, g.linesPerRow());
+    }
+}
+
+} // namespace

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Placement cost models: structural properties the evaluation relies
+ * on — SmartNIC cannot carry Deflate, QAT pays fixed per-offload
+ * taxes, SmartDIMM traffic is contention-independent, CPU costs
+ * scale with the leak fraction, and the design-space scores follow.
+ */
+
+#include <gtest/gtest.h>
+
+#include "offload/design_space.h"
+#include "offload/placement.h"
+
+namespace {
+
+using namespace sd::offload;
+
+LoadContext
+ctxAt(double leak)
+{
+    LoadContext ctx;
+    ctx.leak_fraction = leak;
+    return ctx;
+}
+
+TEST(Placement, SmartNicRejectsDeflate)
+{
+    const auto nic = makePlacement(PlacementKind::kSmartNic);
+    const auto cost = nic->messageCost(Ulp::kDeflate, 4096, ctxAt(0.5));
+    EXPECT_FALSE(cost.supported);
+    EXPECT_TRUE(nic->messageCost(Ulp::kTlsEncrypt, 4096, ctxAt(0.5))
+                    .supported);
+}
+
+TEST(Placement, EveryPlacementFreeForPlainHttp)
+{
+    for (auto kind :
+         {PlacementKind::kCpu, PlacementKind::kSmartNic,
+          PlacementKind::kQuickAssist, PlacementKind::kSmartDimm}) {
+        const auto p = makePlacement(kind);
+        const auto cost = p->messageCost(Ulp::kNone, 4096, ctxAt(0.5));
+        EXPECT_EQ(cost.cpu_cycles, 0.0) << p->name();
+        EXPECT_EQ(cost.dram_bytes, 0.0) << p->name();
+    }
+}
+
+TEST(Placement, CpuCostGrowsWithContention)
+{
+    const auto cpu = makePlacement(PlacementKind::kCpu);
+    const auto quiet =
+        cpu->messageCost(Ulp::kTlsEncrypt, 16384, ctxAt(0.0));
+    const auto thrashed =
+        cpu->messageCost(Ulp::kTlsEncrypt, 16384, ctxAt(1.0));
+    EXPECT_GT(thrashed.cpu_cycles, quiet.cpu_cycles * 1.3);
+    EXPECT_GT(thrashed.dram_bytes, quiet.dram_bytes);
+}
+
+TEST(Placement, SmartDimmTrafficIsContentionIndependent)
+{
+    const auto dimm = makePlacement(PlacementKind::kSmartDimm);
+    const auto quiet =
+        dimm->messageCost(Ulp::kTlsEncrypt, 16384, ctxAt(0.0));
+    const auto thrashed =
+        dimm->messageCost(Ulp::kTlsEncrypt, 16384, ctxAt(1.0));
+    // Inline offload: one pass in + one out, no re-read terms.
+    EXPECT_DOUBLE_EQ(quiet.dram_bytes, thrashed.dram_bytes);
+    EXPECT_DOUBLE_EQ(quiet.dram_bytes, 2.0 * 16384);
+}
+
+TEST(Placement, SmartDimmBeatsCpuUnderContention)
+{
+    const auto cpu = makePlacement(PlacementKind::kCpu);
+    const auto dimm = makePlacement(PlacementKind::kSmartDimm);
+    const auto ctx = ctxAt(0.8);
+    EXPECT_LT(dimm->messageCost(Ulp::kTlsEncrypt, 4096, ctx).cpu_cycles,
+              cpu->messageCost(Ulp::kTlsEncrypt, 4096, ctx).cpu_cycles);
+    EXPECT_LT(dimm->messageCost(Ulp::kDeflate, 4000, ctx).cpu_cycles,
+              cpu->messageCost(Ulp::kDeflate, 4000, ctx).cpu_cycles);
+}
+
+TEST(Placement, CpuWinsWhenQuiet)
+{
+    // With no contention the copy/flush overhead makes offload a net
+    // loss for small TLS records — the adaptive policy's raison
+    // d'etre (Sec. V-C).
+    const auto cpu = makePlacement(PlacementKind::kCpu);
+    const auto dimm = makePlacement(PlacementKind::kSmartDimm);
+    const auto ctx = ctxAt(0.0);
+    EXPECT_LT(cpu->messageCost(Ulp::kTlsEncrypt, 4096, ctx).cpu_cycles,
+              dimm->messageCost(Ulp::kTlsEncrypt, 4096, ctx).cpu_cycles);
+}
+
+TEST(Placement, QatPaysFixedTaxPerOffload)
+{
+    const auto qat = makePlacement(PlacementKind::kQuickAssist);
+    const auto small =
+        qat->messageCost(Ulp::kTlsEncrypt, 1024, ctxAt(0.2));
+    const auto big =
+        qat->messageCost(Ulp::kTlsEncrypt, 16384, ctxAt(0.2));
+    // Cost per byte must be far worse for the small offload.
+    EXPECT_GT(small.cpu_cycles / 1024.0,
+              2.0 * big.cpu_cycles / 16384.0);
+    EXPECT_GT(small.latency_us, 10.0); // blocking round trip
+}
+
+TEST(Placement, SmartNicDegradesWithLossEvents)
+{
+    const auto nic = makePlacement(PlacementKind::kSmartNic);
+    LoadContext lossless = ctxAt(0.5);
+    LoadContext lossy = ctxAt(0.5);
+    lossy.loss_events_per_message = 0.1;
+    EXPECT_GT(
+        nic->messageCost(Ulp::kTlsEncrypt, 16384, lossy).cpu_cycles,
+        nic->messageCost(Ulp::kTlsEncrypt, 16384, lossless).cpu_cycles *
+            1.2);
+}
+
+TEST(Placement, DeflateOutputRatioShrinksSmartDimmTraffic)
+{
+    const auto dimm = makePlacement(PlacementKind::kSmartDimm);
+    LoadContext ctx = ctxAt(0.5);
+    ctx.output_ratio = 0.38;
+    const auto cost = dimm->messageCost(Ulp::kDeflate, 4000, ctx);
+    EXPECT_NEAR(cost.dram_bytes, 4000 * 1.38, 1.0);
+}
+
+TEST(DesignSpace, ScoresMatchThePaperNarrative)
+{
+    const auto points = designSpace();
+    ASSERT_EQ(points.size(), 4u);
+
+    const auto score = [&](std::size_t option, Criterion c) {
+        return points[option].scores[static_cast<std::size_t>(c)];
+    };
+    // Options: 0=CPU, 1=SmartNIC, 2=PCIe, 3=SmartDIMM.
+    // CPU leads at low contention, SmartDIMM at high contention.
+    EXPECT_GE(score(0, Criterion::kLowContentionPerf),
+              score(3, Criterion::kLowContentionPerf) - 1.0);
+    EXPECT_GT(score(3, Criterion::kHighContentionPerf),
+              score(0, Criterion::kHighContentionPerf));
+    // SmartNIC is the only option limited in ULP diversity.
+    EXPECT_LT(score(1, Criterion::kUlpDiversity),
+              score(0, Criterion::kUlpDiversity));
+    EXPECT_LT(score(1, Criterion::kUlpDiversity),
+              score(3, Criterion::kUlpDiversity));
+    // Loss resilience: SmartNIC strictly below CPU and SmartDIMM.
+    EXPECT_LT(score(1, Criterion::kLossResilience),
+              score(0, Criterion::kLossResilience));
+    EXPECT_LT(score(1, Criterion::kLossResilience),
+              score(3, Criterion::kLossResilience));
+    // PCIe pays the fine-grain offload tax on raw performance.
+    EXPECT_LT(score(2, Criterion::kLowContentionPerf),
+              score(0, Criterion::kLowContentionPerf));
+}
+
+} // namespace

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Event-queue ordering, priorities and re-entrancy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace {
+
+using sd::EventQueue;
+using sd::Tick;
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, FifoWithinSameTick)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(7, [&order, i] { order.push_back(i); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, PriorityBreaksTies)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&] { order.push_back(2); }, 200);
+    q.schedule(5, [&] { order.push_back(1); }, 50);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, EventsMayScheduleEvents)
+{
+    EventQueue q;
+    std::vector<Tick> fired;
+    q.schedule(1, [&] {
+        fired.push_back(q.now());
+        q.scheduleIn(9, [&] { fired.push_back(q.now()); });
+    });
+    q.run();
+    EXPECT_EQ(fired, (std::vector<Tick>{1, 10}));
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue q;
+    int count = 0;
+    for (Tick t = 10; t <= 100; t += 10)
+        q.schedule(t, [&] { ++count; });
+    q.runUntil(50);
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(q.now(), 50u);
+    q.run();
+    EXPECT_EQ(count, 10);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWhenIdle)
+{
+    EventQueue q;
+    q.runUntil(1000);
+    EXPECT_EQ(q.now(), 1000u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ExecutedCounter)
+{
+    EventQueue q;
+    for (int i = 0; i < 3; ++i)
+        q.schedule(i + 1, [] {});
+    q.run();
+    EXPECT_EQ(q.executed(), 3u);
+}
+
+TEST(EventQueue, ResetDropsPending)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(5, [&] { ++count; });
+    q.reset();
+    q.run();
+    EXPECT_EQ(count, 0);
+    EXPECT_EQ(q.now(), 0u);
+}
+
+TEST(EventQueue, PeriodicSelfRescheduling)
+{
+    EventQueue q;
+    int ticks = 0;
+    std::function<void()> beat = [&] {
+        if (++ticks < 10)
+            q.scheduleIn(100, beat);
+    };
+    q.schedule(100, beat);
+    q.run();
+    EXPECT_EQ(ticks, 10);
+    EXPECT_EQ(q.now(), 1000u);
+}
+
+} // namespace

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * DSA jobs in isolation: the TLS job must reproduce software AES-GCM
+ * over any line arrival order; the Deflate job must enforce ordering
+ * and produce a decodable framed stream.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <numeric>
+
+#include "common/random.h"
+#include "compress/deflate.h"
+#include "smartdimm/deflate_dsa.h"
+#include "smartdimm/tls_dsa.h"
+
+namespace {
+
+using namespace sd;
+using smartdimm::DeflateDsaJob;
+using smartdimm::TlsDsaJob;
+using smartdimm::TlsMessageState;
+
+struct TlsFixture
+{
+    std::uint8_t key[16];
+    crypto::GcmIv iv{};
+    std::vector<std::uint8_t> plain;
+    std::shared_ptr<TlsMessageState> state;
+
+    TlsFixture(std::size_t len, std::uint64_t seed)
+    {
+        Rng rng(seed);
+        rng.fill(key, 16);
+        rng.fill(iv.data(), iv.size());
+        plain.resize(len);
+        rng.fill(plain.data(), len);
+        state = std::make_shared<TlsMessageState>(key, iv, len, 24);
+    }
+
+    std::vector<std::uint8_t>
+    reference(crypto::GcmTag &tag) const
+    {
+        crypto::GcmContext ctx(key, crypto::Aes::KeySize::k128);
+        std::vector<std::uint8_t> cipher(plain.size());
+        tag = ctx.encrypt(iv, plain.data(), plain.size(), cipher.data());
+        return cipher;
+    }
+};
+
+TEST(TlsDsa, SinglePageRecordProducesCipherAndTag)
+{
+    TlsFixture fx(4000, 1);
+    TlsDsaJob job(fx.state, 0);
+    EXPECT_FALSE(job.ordered());
+
+    const std::size_t lines = divCeil(4000ul, kCacheLineSize);
+    for (std::size_t l = 0; l < lines; ++l) {
+        std::uint8_t padded[kCacheLineSize] = {};
+        const std::size_t take =
+            std::min(kCacheLineSize, 4000ul - l * kCacheLineSize);
+        std::memcpy(padded, fx.plain.data() + l * kCacheLineSize, take);
+        EXPECT_GT(job.processLine(static_cast<unsigned>(l), padded), 0u);
+    }
+    EXPECT_TRUE(job.complete());
+
+    crypto::GcmTag tag;
+    const auto expect = fx.reference(tag);
+
+    std::vector<std::uint8_t> result(kPageSize);
+    for (unsigned l = 0; l < kLinesPerPage; ++l)
+        ASSERT_TRUE(job.resultLine(l, result.data() + l * kCacheLineSize));
+    EXPECT_EQ(0, std::memcmp(result.data(), expect.data(), 4000));
+    EXPECT_EQ(0, std::memcmp(result.data() + 4000, tag.data(), 16));
+    EXPECT_EQ(job.resultBytes(), 4016u);
+}
+
+TEST(TlsDsa, OutOfOrderLinesAcrossPages)
+{
+    const std::size_t len = 2 * kPageSize + 100;
+    TlsFixture fx(len, 2);
+    TlsDsaJob page0(fx.state, 0);
+    TlsDsaJob page1(fx.state, 1);
+    TlsDsaJob page2(fx.state, 2);
+    TlsDsaJob *jobs[3] = {&page0, &page1, &page2};
+
+    // Interleave lines of the three pages pseudo-randomly.
+    struct Item
+    {
+        unsigned page;
+        unsigned line;
+    };
+    std::vector<Item> order;
+    for (unsigned p = 0; p < 3; ++p) {
+        const std::size_t page_payload =
+            p < 2 ? kPageSize : 100;
+        for (unsigned l = 0; l * kCacheLineSize < page_payload; ++l)
+            order.push_back({p, l});
+    }
+    Rng rng(3);
+    for (std::size_t i = order.size(); i > 1; --i)
+        std::swap(order[i - 1], order[rng.below(i)]);
+
+    for (const auto &item : order) {
+        std::uint8_t padded[kCacheLineSize] = {};
+        const std::size_t off =
+            item.page * kPageSize + item.line * kCacheLineSize;
+        const std::size_t take = std::min(kCacheLineSize, len - off);
+        std::memcpy(padded, fx.plain.data() + off, take);
+        jobs[item.page]->processLine(item.line, padded);
+    }
+    EXPECT_TRUE(fx.state->complete());
+
+    crypto::GcmTag tag;
+    const auto expect = fx.reference(tag);
+    // Page 2 carries the final 100 bytes + tag.
+    std::uint8_t line0[kCacheLineSize];
+    std::uint8_t line1[kCacheLineSize];
+    ASSERT_TRUE(page2.resultLine(0, line0));
+    ASSERT_TRUE(page2.resultLine(1, line1));
+    EXPECT_EQ(0, std::memcmp(line0, expect.data() + 2 * kPageSize, 64));
+    EXPECT_EQ(0, std::memcmp(line1 + (100 - 64), tag.data(), 16));
+}
+
+TEST(TlsDsa, ResultUnavailableBeforeProcessing)
+{
+    TlsFixture fx(4096, 4);
+    TlsDsaJob job(fx.state, 0);
+    std::uint8_t out[kCacheLineSize];
+    EXPECT_FALSE(job.resultLine(0, out));
+    std::uint8_t line[kCacheLineSize] = {};
+    job.processLine(0, line);
+    EXPECT_TRUE(job.resultLine(0, out));
+    EXPECT_FALSE(job.resultLine(1, out));
+}
+
+TEST(TlsDsa, TagOnlyTrailerPage)
+{
+    const std::size_t len = kPageSize; // tag spills to page 1
+    TlsFixture fx(len, 5);
+    TlsDsaJob payload(fx.state, 0);
+    TlsDsaJob trailer(fx.state, 1);
+    EXPECT_TRUE(trailer.complete()) << "no payload lines to consume";
+
+    std::uint8_t out[kCacheLineSize];
+    EXPECT_FALSE(trailer.resultLine(0, out))
+        << "tag not available until the record completes";
+
+    for (unsigned l = 0; l < kLinesPerPage; ++l)
+        payload.processLine(l, fx.plain.data() + l * kCacheLineSize);
+
+    crypto::GcmTag tag;
+    fx.reference(tag);
+    ASSERT_TRUE(trailer.resultLine(0, out));
+    EXPECT_EQ(0, std::memcmp(out, tag.data(), 16));
+    EXPECT_EQ(trailer.resultBytes(), 16u);
+}
+
+TEST(DeflateDsa, OrderedStreamingCompression)
+{
+    std::vector<std::uint8_t> page(4000);
+    for (std::size_t i = 0; i < page.size(); ++i)
+        page[i] = static_cast<std::uint8_t>("abcdefgh"[i % 8]);
+
+    DeflateDsaJob job(page.size(), {}, 24);
+    EXPECT_TRUE(job.ordered());
+    EXPECT_FALSE(job.complete());
+
+    const std::size_t lines = divCeil(page.size(), kCacheLineSize);
+    for (std::size_t l = 0; l < lines; ++l) {
+        std::uint8_t padded[kCacheLineSize] = {};
+        const std::size_t take =
+            std::min(kCacheLineSize, page.size() - l * kCacheLineSize);
+        std::memcpy(padded, page.data() + l * kCacheLineSize, take);
+        job.processLine(static_cast<unsigned>(l), padded);
+    }
+    ASSERT_TRUE(job.complete());
+
+    std::vector<std::uint8_t> framed(kPageSize);
+    for (unsigned l = 0; l < kLinesPerPage; ++l)
+        ASSERT_TRUE(job.resultLine(l, framed.data() + l * kCacheLineSize));
+    const std::size_t stream_len = framed[0] | (framed[1] << 8);
+    ASSERT_GT(stream_len, 0u);
+    const auto back =
+        compress::deflateDecompress(framed.data() + 2, stream_len);
+    EXPECT_EQ(back, page);
+    EXPECT_LT(job.resultBytes(), page.size());
+}
+
+TEST(DeflateDsa, NoResultsUntilComplete)
+{
+    std::vector<std::uint8_t> page(1000, 'x');
+    DeflateDsaJob job(page.size(), {}, 24);
+    std::uint8_t line[kCacheLineSize] = {'x'};
+    std::uint8_t out[kCacheLineSize];
+    job.processLine(0, line);
+    EXPECT_FALSE(job.resultLine(0, out))
+        << "streaming ULP emits only at completion";
+}
+
+TEST(DeflateDsa, IncompressiblePageFallsBackToStored)
+{
+    Rng rng(6);
+    std::vector<std::uint8_t> page(4000);
+    rng.fill(page.data(), page.size());
+
+    DeflateDsaJob job(page.size(), {}, 24);
+    const std::size_t lines = divCeil(page.size(), kCacheLineSize);
+    for (std::size_t l = 0; l < lines; ++l) {
+        std::uint8_t padded[kCacheLineSize] = {};
+        const std::size_t take =
+            std::min(kCacheLineSize, page.size() - l * kCacheLineSize);
+        std::memcpy(padded, page.data() + l * kCacheLineSize, take);
+        job.processLine(static_cast<unsigned>(l), padded);
+    }
+    std::vector<std::uint8_t> framed(kPageSize);
+    for (unsigned l = 0; l < kLinesPerPage; ++l)
+        job.resultLine(l, framed.data() + l * kCacheLineSize);
+    const std::size_t stream_len = framed[0] | (framed[1] << 8);
+    const auto back =
+        compress::deflateDecompress(framed.data() + 2, stream_len);
+    EXPECT_EQ(back, page);
+}
+
+} // namespace
