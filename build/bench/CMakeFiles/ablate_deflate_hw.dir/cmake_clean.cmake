@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_deflate_hw.dir/ablate_deflate_hw.cc.o"
+  "CMakeFiles/ablate_deflate_hw.dir/ablate_deflate_hw.cc.o.d"
+  "ablate_deflate_hw"
+  "ablate_deflate_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_deflate_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_ordered.dir/ablate_ordered.cc.o"
+  "CMakeFiles/ablate_ordered.dir/ablate_ordered.cc.o.d"
+  "ablate_ordered"
+  "ablate_ordered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_ordered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

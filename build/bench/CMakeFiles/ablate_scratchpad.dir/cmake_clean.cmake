@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_scratchpad.dir/ablate_scratchpad.cc.o"
+  "CMakeFiles/ablate_scratchpad.dir/ablate_scratchpad.cc.o.d"
+  "ablate_scratchpad"
+  "ablate_scratchpad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_scratchpad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

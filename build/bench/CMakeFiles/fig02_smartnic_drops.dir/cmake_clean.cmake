@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_smartnic_drops.dir/fig02_smartnic_drops.cc.o"
+  "CMakeFiles/fig02_smartnic_drops.dir/fig02_smartnic_drops.cc.o.d"
+  "fig02_smartnic_drops"
+  "fig02_smartnic_drops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_smartnic_drops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig02_smartnic_drops.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig03_https_membw.cc" "bench/CMakeFiles/fig03_https_membw.dir/fig03_https_membw.cc.o" "gcc" "bench/CMakeFiles/fig03_https_membw.dir/fig03_https_membw.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compcpy/CMakeFiles/sd_compcpy.dir/DependInfo.cmake"
+  "/root/repo/build/src/smartdimm/CMakeFiles/sd_smartdimm.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sd_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/sd_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/sd_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/sd_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/sd_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/offload/CMakeFiles/sd_offload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_https_membw.dir/fig03_https_membw.cc.o"
+  "CMakeFiles/fig03_https_membw.dir/fig03_https_membw.cc.o.d"
+  "fig03_https_membw"
+  "fig03_https_membw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_https_membw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_memory_trace.dir/fig09_memory_trace.cc.o"
+  "CMakeFiles/fig09_memory_trace.dir/fig09_memory_trace.cc.o.d"
+  "fig09_memory_trace"
+  "fig09_memory_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_memory_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

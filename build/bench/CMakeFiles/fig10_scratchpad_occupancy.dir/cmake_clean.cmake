@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_scratchpad_occupancy.dir/fig10_scratchpad_occupancy.cc.o"
+  "CMakeFiles/fig10_scratchpad_occupancy.dir/fig10_scratchpad_occupancy.cc.o.d"
+  "fig10_scratchpad_occupancy"
+  "fig10_scratchpad_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_scratchpad_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

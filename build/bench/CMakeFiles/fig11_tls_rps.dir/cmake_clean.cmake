@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_tls_rps.dir/fig11_tls_rps.cc.o"
+  "CMakeFiles/fig11_tls_rps.dir/fig11_tls_rps.cc.o.d"
+  "fig11_tls_rps"
+  "fig11_tls_rps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_tls_rps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_compression_rps.dir/fig12_compression_rps.cc.o"
+  "CMakeFiles/fig12_compression_rps.dir/fig12_compression_rps.cc.o.d"
+  "fig12_compression_rps"
+  "fig12_compression_rps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_compression_rps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_design_space.dir/fig13_design_space.cc.o"
+  "CMakeFiles/fig13_design_space.dir/fig13_design_space.cc.o.d"
+  "fig13_design_space"
+  "fig13_design_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

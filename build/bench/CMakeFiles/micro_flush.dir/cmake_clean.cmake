@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_flush.dir/micro_flush.cc.o"
+  "CMakeFiles/micro_flush.dir/micro_flush.cc.o.d"
+  "micro_flush"
+  "micro_flush.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_flush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

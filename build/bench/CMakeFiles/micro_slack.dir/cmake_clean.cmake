@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_slack.dir/micro_slack.cc.o"
+  "CMakeFiles/micro_slack.dir/micro_slack.cc.o.d"
+  "micro_slack"
+  "micro_slack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_slack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

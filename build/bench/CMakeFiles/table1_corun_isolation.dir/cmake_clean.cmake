@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_corun_isolation.dir/table1_corun_isolation.cc.o"
+  "CMakeFiles/table1_corun_isolation.dir/table1_corun_isolation.cc.o.d"
+  "table1_corun_isolation"
+  "table1_corun_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_corun_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compression_offload.dir/compression_offload.cpp.o"
+  "CMakeFiles/compression_offload.dir/compression_offload.cpp.o.d"
+  "compression_offload"
+  "compression_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compression_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

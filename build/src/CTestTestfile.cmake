@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("crypto")
+subdirs("compress")
+subdirs("mem")
+subdirs("cache")
+subdirs("smartdimm")
+subdirs("compcpy")
+subdirs("net")
+subdirs("offload")
+subdirs("app")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sd_app.dir/antagonist.cc.o"
+  "CMakeFiles/sd_app.dir/antagonist.cc.o.d"
+  "CMakeFiles/sd_app.dir/contention_model.cc.o"
+  "CMakeFiles/sd_app.dir/contention_model.cc.o.d"
+  "CMakeFiles/sd_app.dir/server_model.cc.o"
+  "CMakeFiles/sd_app.dir/server_model.cc.o.d"
+  "libsd_app.a"
+  "libsd_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sd_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sd_cache.dir/cache.cc.o"
+  "CMakeFiles/sd_cache.dir/cache.cc.o.d"
+  "CMakeFiles/sd_cache.dir/memory_system.cc.o"
+  "CMakeFiles/sd_cache.dir/memory_system.cc.o.d"
+  "libsd_cache.a"
+  "libsd_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sd_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sd_common.dir/log.cc.o"
+  "CMakeFiles/sd_common.dir/log.cc.o.d"
+  "CMakeFiles/sd_common.dir/random.cc.o"
+  "CMakeFiles/sd_common.dir/random.cc.o.d"
+  "CMakeFiles/sd_common.dir/stats.cc.o"
+  "CMakeFiles/sd_common.dir/stats.cc.o.d"
+  "libsd_common.a"
+  "libsd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

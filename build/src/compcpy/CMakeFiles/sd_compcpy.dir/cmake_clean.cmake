@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sd_compcpy.dir/compcpy.cc.o"
+  "CMakeFiles/sd_compcpy.dir/compcpy.cc.o.d"
+  "CMakeFiles/sd_compcpy.dir/offload_engine.cc.o"
+  "CMakeFiles/sd_compcpy.dir/offload_engine.cc.o.d"
+  "libsd_compcpy.a"
+  "libsd_compcpy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sd_compcpy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sd_compress.dir/deflate.cc.o"
+  "CMakeFiles/sd_compress.dir/deflate.cc.o.d"
+  "CMakeFiles/sd_compress.dir/huffman.cc.o"
+  "CMakeFiles/sd_compress.dir/huffman.cc.o.d"
+  "CMakeFiles/sd_compress.dir/hw_deflate.cc.o"
+  "CMakeFiles/sd_compress.dir/hw_deflate.cc.o.d"
+  "CMakeFiles/sd_compress.dir/lz77.cc.o"
+  "CMakeFiles/sd_compress.dir/lz77.cc.o.d"
+  "libsd_compress.a"
+  "libsd_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sd_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cc" "src/crypto/CMakeFiles/sd_crypto.dir/aes.cc.o" "gcc" "src/crypto/CMakeFiles/sd_crypto.dir/aes.cc.o.d"
+  "/root/repo/src/crypto/aes_gcm.cc" "src/crypto/CMakeFiles/sd_crypto.dir/aes_gcm.cc.o" "gcc" "src/crypto/CMakeFiles/sd_crypto.dir/aes_gcm.cc.o.d"
+  "/root/repo/src/crypto/ghash.cc" "src/crypto/CMakeFiles/sd_crypto.dir/ghash.cc.o" "gcc" "src/crypto/CMakeFiles/sd_crypto.dir/ghash.cc.o.d"
+  "/root/repo/src/crypto/tls_record.cc" "src/crypto/CMakeFiles/sd_crypto.dir/tls_record.cc.o" "gcc" "src/crypto/CMakeFiles/sd_crypto.dir/tls_record.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

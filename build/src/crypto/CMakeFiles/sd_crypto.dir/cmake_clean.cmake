@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sd_crypto.dir/aes.cc.o"
+  "CMakeFiles/sd_crypto.dir/aes.cc.o.d"
+  "CMakeFiles/sd_crypto.dir/aes_gcm.cc.o"
+  "CMakeFiles/sd_crypto.dir/aes_gcm.cc.o.d"
+  "CMakeFiles/sd_crypto.dir/ghash.cc.o"
+  "CMakeFiles/sd_crypto.dir/ghash.cc.o.d"
+  "CMakeFiles/sd_crypto.dir/tls_record.cc.o"
+  "CMakeFiles/sd_crypto.dir/tls_record.cc.o.d"
+  "libsd_crypto.a"
+  "libsd_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sd_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

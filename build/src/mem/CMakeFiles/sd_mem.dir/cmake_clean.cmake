@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sd_mem.dir/address_map.cc.o"
+  "CMakeFiles/sd_mem.dir/address_map.cc.o.d"
+  "CMakeFiles/sd_mem.dir/memory_controller.cc.o"
+  "CMakeFiles/sd_mem.dir/memory_controller.cc.o.d"
+  "libsd_mem.a"
+  "libsd_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sd_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

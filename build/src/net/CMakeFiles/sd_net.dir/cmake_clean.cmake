@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sd_net.dir/tcp_stream.cc.o"
+  "CMakeFiles/sd_net.dir/tcp_stream.cc.o.d"
+  "libsd_net.a"
+  "libsd_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sd_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

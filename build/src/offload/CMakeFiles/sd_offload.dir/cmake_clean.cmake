@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sd_offload.dir/design_space.cc.o"
+  "CMakeFiles/sd_offload.dir/design_space.cc.o.d"
+  "CMakeFiles/sd_offload.dir/placement.cc.o"
+  "CMakeFiles/sd_offload.dir/placement.cc.o.d"
+  "libsd_offload.a"
+  "libsd_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sd_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

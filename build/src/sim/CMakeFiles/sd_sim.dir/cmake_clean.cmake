@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sd_sim.dir/event_queue.cc.o"
+  "CMakeFiles/sd_sim.dir/event_queue.cc.o.d"
+  "libsd_sim.a"
+  "libsd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

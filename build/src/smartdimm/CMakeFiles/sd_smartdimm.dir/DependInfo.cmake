@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smartdimm/buffer_device.cc" "src/smartdimm/CMakeFiles/sd_smartdimm.dir/buffer_device.cc.o" "gcc" "src/smartdimm/CMakeFiles/sd_smartdimm.dir/buffer_device.cc.o.d"
+  "/root/repo/src/smartdimm/config_memory.cc" "src/smartdimm/CMakeFiles/sd_smartdimm.dir/config_memory.cc.o" "gcc" "src/smartdimm/CMakeFiles/sd_smartdimm.dir/config_memory.cc.o.d"
+  "/root/repo/src/smartdimm/cuckoo_table.cc" "src/smartdimm/CMakeFiles/sd_smartdimm.dir/cuckoo_table.cc.o" "gcc" "src/smartdimm/CMakeFiles/sd_smartdimm.dir/cuckoo_table.cc.o.d"
+  "/root/repo/src/smartdimm/deflate_dsa.cc" "src/smartdimm/CMakeFiles/sd_smartdimm.dir/deflate_dsa.cc.o" "gcc" "src/smartdimm/CMakeFiles/sd_smartdimm.dir/deflate_dsa.cc.o.d"
+  "/root/repo/src/smartdimm/power_model.cc" "src/smartdimm/CMakeFiles/sd_smartdimm.dir/power_model.cc.o" "gcc" "src/smartdimm/CMakeFiles/sd_smartdimm.dir/power_model.cc.o.d"
+  "/root/repo/src/smartdimm/scratchpad.cc" "src/smartdimm/CMakeFiles/sd_smartdimm.dir/scratchpad.cc.o" "gcc" "src/smartdimm/CMakeFiles/sd_smartdimm.dir/scratchpad.cc.o.d"
+  "/root/repo/src/smartdimm/tls_dsa.cc" "src/smartdimm/CMakeFiles/sd_smartdimm.dir/tls_dsa.cc.o" "gcc" "src/smartdimm/CMakeFiles/sd_smartdimm.dir/tls_dsa.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/sd_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sd_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/sd_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sd_smartdimm.dir/buffer_device.cc.o"
+  "CMakeFiles/sd_smartdimm.dir/buffer_device.cc.o.d"
+  "CMakeFiles/sd_smartdimm.dir/config_memory.cc.o"
+  "CMakeFiles/sd_smartdimm.dir/config_memory.cc.o.d"
+  "CMakeFiles/sd_smartdimm.dir/cuckoo_table.cc.o"
+  "CMakeFiles/sd_smartdimm.dir/cuckoo_table.cc.o.d"
+  "CMakeFiles/sd_smartdimm.dir/deflate_dsa.cc.o"
+  "CMakeFiles/sd_smartdimm.dir/deflate_dsa.cc.o.d"
+  "CMakeFiles/sd_smartdimm.dir/power_model.cc.o"
+  "CMakeFiles/sd_smartdimm.dir/power_model.cc.o.d"
+  "CMakeFiles/sd_smartdimm.dir/scratchpad.cc.o"
+  "CMakeFiles/sd_smartdimm.dir/scratchpad.cc.o.d"
+  "CMakeFiles/sd_smartdimm.dir/tls_dsa.cc.o"
+  "CMakeFiles/sd_smartdimm.dir/tls_dsa.cc.o.d"
+  "libsd_smartdimm.a"
+  "libsd_smartdimm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sd_smartdimm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

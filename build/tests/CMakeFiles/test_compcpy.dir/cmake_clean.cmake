@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compcpy.dir/compcpy/test_end_to_end.cc.o"
+  "CMakeFiles/test_compcpy.dir/compcpy/test_end_to_end.cc.o.d"
+  "test_compcpy"
+  "test_compcpy.pdb"
+  "test_compcpy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compcpy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

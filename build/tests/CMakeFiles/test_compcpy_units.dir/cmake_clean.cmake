@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compcpy_units.dir/compcpy/test_compcpy_units.cc.o"
+  "CMakeFiles/test_compcpy_units.dir/compcpy/test_compcpy_units.cc.o.d"
+  "test_compcpy_units"
+  "test_compcpy_units.pdb"
+  "test_compcpy_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compcpy_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

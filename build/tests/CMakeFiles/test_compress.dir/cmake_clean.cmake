@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compress.dir/compress/test_bitstream.cc.o"
+  "CMakeFiles/test_compress.dir/compress/test_bitstream.cc.o.d"
+  "CMakeFiles/test_compress.dir/compress/test_deflate.cc.o"
+  "CMakeFiles/test_compress.dir/compress/test_deflate.cc.o.d"
+  "CMakeFiles/test_compress.dir/compress/test_huffman.cc.o"
+  "CMakeFiles/test_compress.dir/compress/test_huffman.cc.o.d"
+  "CMakeFiles/test_compress.dir/compress/test_hw_deflate.cc.o"
+  "CMakeFiles/test_compress.dir/compress/test_hw_deflate.cc.o.d"
+  "CMakeFiles/test_compress.dir/compress/test_lz77.cc.o"
+  "CMakeFiles/test_compress.dir/compress/test_lz77.cc.o.d"
+  "test_compress"
+  "test_compress.pdb"
+  "test_compress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

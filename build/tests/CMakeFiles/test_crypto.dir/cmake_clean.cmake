@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto.dir/crypto/test_aes.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_aes.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_aes_gcm.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_aes_gcm.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_ghash.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_ghash.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_incremental_gcm.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_incremental_gcm.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_tls_record.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_tls_record.cc.o.d"
+  "test_crypto"
+  "test_crypto.pdb"
+  "test_crypto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

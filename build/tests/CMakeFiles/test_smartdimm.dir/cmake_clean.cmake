@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smartdimm.dir/smartdimm/test_buffer_device.cc.o"
+  "CMakeFiles/test_smartdimm.dir/smartdimm/test_buffer_device.cc.o.d"
+  "CMakeFiles/test_smartdimm.dir/smartdimm/test_cuckoo_table.cc.o"
+  "CMakeFiles/test_smartdimm.dir/smartdimm/test_cuckoo_table.cc.o.d"
+  "CMakeFiles/test_smartdimm.dir/smartdimm/test_dsa.cc.o"
+  "CMakeFiles/test_smartdimm.dir/smartdimm/test_dsa.cc.o.d"
+  "CMakeFiles/test_smartdimm.dir/smartdimm/test_scratchpad.cc.o"
+  "CMakeFiles/test_smartdimm.dir/smartdimm/test_scratchpad.cc.o.d"
+  "test_smartdimm"
+  "test_smartdimm.pdb"
+  "test_smartdimm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smartdimm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

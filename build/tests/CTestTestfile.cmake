@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto[1]_include.cmake")
+include("/root/repo/build/tests/test_compress[1]_include.cmake")
+include("/root/repo/build/tests/test_compcpy[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_smartdimm[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_offload[1]_include.cmake")
+include("/root/repo/build/tests/test_app[1]_include.cmake")
+include("/root/repo/build/tests/test_compcpy_units[1]_include.cmake")
