@@ -9,6 +9,7 @@
 #define SD_BENCH_BENCH_UTIL_H
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "compcpy/driver.h"
 #include "sim/event_queue.h"
 #include "smartdimm/buffer_device.h"
+#include "trace/trace.h"
 
 namespace sd::bench {
 
@@ -73,7 +75,60 @@ struct DeviceRig
             std::vector<mem::DimmDevice *>{&dimm});
         return *memory;
     }
+
+    /**
+     * Register every rig component into @p registry: the memory
+     * system ("llc", "mc.chN"), the CompCpy engine ("compcpy") and
+     * the buffer device ("dimm"). The registry must not outlive the
+     * rig.
+     */
+    void
+    registerStats(trace::StatsRegistry &registry) const
+    {
+        memory->registerStats(registry);
+        registry.add("compcpy", [this](trace::StatsBlock &block) {
+            engine.reportStats(block);
+        });
+        registry.add("dimm", [this](trace::StatsBlock &block) {
+            dimm.reportStats(block);
+        });
+    }
 };
+
+/**
+ * Dump @p registry as `<name>_stats.json` next to the bench's normal
+ * output. Prints a one-line confirmation so runs show the artefact.
+ */
+inline void
+writeStatsJson(const std::string &name,
+               const trace::StatsRegistry &registry)
+{
+    const std::string path = name + "_stats.json";
+    std::ofstream os(path);
+    if (!os) {
+        std::printf("could not write %s\n", path.c_str());
+        return;
+    }
+    registry.dumpJson(os);
+    std::printf("wrote %s\n", path.c_str());
+}
+
+/**
+ * Dump the global tracer's span report (plus @p registry when given)
+ * as `<name>_spans.json`. No-op when the tracer never recorded.
+ */
+inline void
+writeSpansJson(const std::string &name,
+               const trace::StatsRegistry *registry = nullptr)
+{
+    const auto &tr = trace::tracer();
+    if (tr.spans().empty())
+        return;
+    const std::string path = name + "_spans.json";
+    if (tr.writeJsonFile(path, registry))
+        std::printf("wrote %s (%zu spans, %zu events)\n", path.c_str(),
+                    tr.spans().size(), tr.events().size());
+}
 
 } // namespace sd::bench
 

@@ -60,6 +60,11 @@ main()
     Trace trace;
     rig.memory->controller(0).setObserver(&trace);
 
+    // Span tracing with the DDR mirror on: the spans JSON carries the
+    // same CAS stream as the CSV, attributed to CompCpy spans.
+    sd::trace::tracer().clear();
+    sd::trace::tracer().enable(/*capture_ddr=*/true);
+
     Rng rng(1);
     constexpr int kCores = 4;
     constexpr int kCallsPerCore = 6;
@@ -141,6 +146,12 @@ main()
                 static_cast<unsigned long long>(arb.sbuf_reads),
                 static_cast<unsigned long long>(arb.dbuf_recycles),
                 static_cast<unsigned long long>(arb.alert_n));
+
+    sd::trace::StatsRegistry registry;
+    rig.registerStats(registry);
+    bench::writeStatsJson("fig09", registry);
+    bench::writeSpansJson("fig09", &registry);
+    sd::trace::tracer().disable();
     std::printf("\nPaper shape: reads (sources) interleaved with "
                 "writes (self-recycles of earlier destinations);\n"
                 "addresses increase monotonically within a CompCpy.\n");

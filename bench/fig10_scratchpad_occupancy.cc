@@ -69,6 +69,16 @@ runProvision(std::size_t llc_bytes, const char *label)
                 static_cast<double>(sp.peak_pages * kPageSize) / 1024.0,
                 static_cast<unsigned long long>(sp.self_recycles),
                 static_cast<unsigned long long>(sp.force_recycles));
+
+    sd::trace::StatsRegistry registry;
+    rig.registerStats(registry);
+    const std::size_t equilibrium = samples.back();
+    registry.add("occupancy", [&](sd::trace::StatsBlock &block) {
+        block.scalar("equilibrium_bytes",
+                     static_cast<double>(equilibrium));
+        block.scalar("samples", static_cast<double>(samples.size()));
+    });
+    bench::writeStatsJson(std::string("fig10_") + label, registry);
 }
 
 } // namespace

@@ -17,7 +17,7 @@ using namespace sd;
 namespace {
 
 void
-sweep(std::size_t msg)
+sweep(std::size_t msg, sd::trace::StatsRegistry &registry)
 {
     std::printf("\nmessage size %zu KB:\n", msg / 1024);
     std::printf("  %-12s %10s %8s %9s %8s %12s %10s\n", "placement",
@@ -42,6 +42,18 @@ sweep(std::size_t msg)
                     r.dram_bytes_per_request /
                         cpu.dram_bytes_per_request,
                     r.latency_us);
+        registry.add("msg" + std::to_string(msg) + "." +
+                         r.placement_name,
+                     [r](sd::trace::StatsBlock &block) {
+                         block.scalar("rps", r.rps);
+                         block.scalar("cpu_utilization",
+                                      r.cpu_utilization);
+                         block.scalar("mem_bandwidth_gbps",
+                                      r.mem_bandwidth_gbps);
+                         block.scalar("dram_bytes_per_request",
+                                      r.dram_bytes_per_request);
+                         block.scalar("latency_us", r.latency_us);
+                     });
     }
 }
 
@@ -53,9 +65,11 @@ main()
     bench::header("Figure 11",
                   "Nginx TLS RPS / CPU / memory-BW by placement "
                   "(normalised to CPU)");
-    sweep(4096);
-    sweep(16384);
-    sweep(65536);
+    sd::trace::StatsRegistry registry;
+    sweep(4096, registry);
+    sweep(16384, registry);
+    sweep(65536, registry);
+    bench::writeStatsJson("fig11", registry);
     std::printf(
         "\nPaper anchors: SmartDIMM +21.0%% RPS at 4 KB and +35.8%% at\n"
         "16 KB over CPU with ~49%% lower per-request memory traffic;\n"

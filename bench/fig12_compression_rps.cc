@@ -16,7 +16,7 @@ using namespace sd;
 namespace {
 
 void
-sweep(std::size_t msg)
+sweep(std::size_t msg, sd::trace::StatsRegistry &registry)
 {
     std::printf("\nmessage size %zu KB:\n", msg / 1024);
     std::printf("  %-12s %10s %8s %9s %8s %12s\n", "placement", "RPS",
@@ -45,6 +45,17 @@ sweep(std::size_t msg)
                     r.cpu_utilization, r.mem_bandwidth_gbps,
                     r.dram_bytes_per_request /
                         cpu.dram_bytes_per_request);
+        registry.add("msg" + std::to_string(msg) + "." +
+                         r.placement_name,
+                     [r](sd::trace::StatsBlock &block) {
+                         block.scalar("rps", r.rps);
+                         block.scalar("cpu_utilization",
+                                      r.cpu_utilization);
+                         block.scalar("mem_bandwidth_gbps",
+                                      r.mem_bandwidth_gbps);
+                         block.scalar("dram_bytes_per_request",
+                                      r.dram_bytes_per_request);
+                     });
     }
 }
 
@@ -56,8 +67,10 @@ main()
     bench::header("Figure 12",
                   "Nginx compression RPS / CPU / memory-BW by "
                   "placement (normalised to CPU)");
-    sweep(4096);
-    sweep(16384);
+    sd::trace::StatsRegistry registry;
+    sweep(4096, registry);
+    sweep(16384, registry);
+    bench::writeStatsJson("fig12", registry);
     std::printf(
         "\nPaper anchors: SmartDIMM 5.09x / 10.28x RPS over CPU at\n"
         "4/16 KB with ~81-89%% lower CPU and per-request memory\n"

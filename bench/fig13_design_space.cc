@@ -28,12 +28,22 @@ main()
         std::printf(" %21s", name.c_str());
     std::printf("\n");
 
+    sd::trace::StatsRegistry registry;
     for (const auto &point : points) {
         std::printf("%-24s", point.option.c_str());
         for (double score : point.scores)
             std::printf(" %21.1f", score);
         std::printf("\n");
+        registry.add(point.option,
+                     [point, &names](sd::trace::StatsBlock &block) {
+                         for (std::size_t i = 0;
+                              i < point.scores.size() &&
+                              i < names.size();
+                              ++i)
+                             block.scalar(names[i], point.scores[i]);
+                     });
     }
+    bench::writeStatsJson("fig13", registry);
 
     std::printf(
         "\nPaper shape: CPU is universally flexible but collapses\n"

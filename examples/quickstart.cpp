@@ -21,6 +21,7 @@
 #include "crypto/aes_gcm.h"
 #include "sim/event_queue.h"
 #include "smartdimm/buffer_device.h"
+#include "trace/trace.h"
 
 using namespace sd;
 
@@ -48,6 +49,10 @@ main()
     compcpy::Driver driver(/*base=*/1ULL << 20, /*bytes=*/256ULL << 20);
     compcpy::CompCpyEngine::SharedState shared;
     compcpy::CompCpyEngine compcpy(memory, driver, shared);
+
+    // Trace the run: every CompCpy opens a span; each pipeline stage
+    // records cycle-stamped events into it.
+    trace::tracer().enable();
 
     // 3. A 4 KB plaintext record and its key material.
     Rng rng(2024);
@@ -106,7 +111,39 @@ main()
                 static_cast<unsigned long long>(arb.alert_n));
     std::printf("  scratchpad pages live     : %zu\n",
                 smartdimm_device.scratchpad().livePages());
+    // 7. Dump the trace: stats registry + the span report. The span
+    //    should have seen every pipeline stage.
+    trace::StatsRegistry registry;
+    memory.registerStats(registry);
+    registry.add("compcpy", [&compcpy](trace::StatsBlock &block) {
+        compcpy.reportStats(block);
+    });
+    registry.add("dimm", [&smartdimm_device](trace::StatsBlock &block) {
+        smartdimm_device.reportStats(block);
+    });
+    trace::tracer().writeJsonFile("quickstart_trace.json", &registry);
+
+    std::printf("\ntrace: %zu span(s), %zu events "
+                "-> quickstart_trace.json\n",
+                trace::tracer().spans().size(),
+                trace::tracer().events().size());
+    bool all_stages = true;
+#ifdef SD_TRACE_DISABLED
+    std::printf("  (stage events compiled out: SD_TRACE_DISABLED)\n");
+#else
+    for (auto stage :
+         {trace::Stage::kFlush, trace::Stage::kRegister,
+          trace::Stage::kCopy, trace::Stage::kTransform,
+          trace::Stage::kStage, trace::Stage::kRecycle,
+          trace::Stage::kUse}) {
+        const bool seen = trace::tracer().spanHasStage(1, stage);
+        std::printf("  stage %-9s : %s\n", trace::stageName(stage),
+                    seen ? "seen" : "MISSING");
+        all_stages = all_stages && seen;
+    }
+#endif
+
     std::printf("\nsimulated time: %.2f us\n",
                 static_cast<double>(events.now()) / 1e6);
-    return cipher_ok && tag_ok ? 0 : 1;
+    return cipher_ok && tag_ok && all_stages ? 0 : 1;
 }

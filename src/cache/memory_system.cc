@@ -47,6 +47,30 @@ MemorySystem::dramBytes() const
 }
 
 void
+MemorySystem::registerStats(trace::StatsRegistry &registry,
+                            const std::string &prefix) const
+{
+    registry.add(prefix + "llc", [this](trace::StatsBlock &block) {
+        const CacheStats &cs = llc_.stats();
+        block.scalar("hits", static_cast<double>(cs.hits));
+        block.scalar("misses", static_cast<double>(cs.misses));
+        block.scalar("miss_rate", cs.missRate());
+        block.scalar("writebacks", static_cast<double>(cs.writebacks));
+        block.scalar("fills", static_cast<double>(cs.fills));
+        block.scalar("flushes", static_cast<double>(cs.flushes));
+        block.scalar("flush_dirty",
+                     static_cast<double>(cs.flush_dirty));
+    });
+    for (std::size_t ch = 0; ch < controllers_.size(); ++ch) {
+        const mem::MemoryController *mc = controllers_[ch].get();
+        registry.add(prefix + "mc.ch" + std::to_string(ch),
+                     [mc](trace::StatsBlock &block) {
+                         mc->reportStats(block);
+                     });
+    }
+}
+
+void
 MemorySystem::writebackVictim(const AccessResult &result)
 {
     if (result.writeback)

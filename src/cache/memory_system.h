@@ -24,6 +24,7 @@
 #include "mem/memory_controller.h"
 #include "sim/clock.h"
 #include "sim/event_queue.h"
+#include "trace/trace.h"
 
 namespace sd::cache {
 
@@ -134,6 +135,14 @@ class MemorySystem
 
     /** Total DRAM traffic in bytes across all channels. */
     std::uint64_t dramBytes() const;
+
+    /**
+     * Register "<prefix>llc" and one "<prefix>mc.chN" provider per
+     * channel into @p registry. Providers reference this object —
+     * remove them (or drop the registry) before destroying it.
+     */
+    void registerStats(trace::StatsRegistry &registry,
+                       const std::string &prefix = "") const;
 
   private:
     mem::MemoryController &route(Addr addr);

@@ -99,6 +99,61 @@ class Histogram
 };
 
 /**
+ * Log-scale histogram over unsigned samples (latencies in ticks or
+ * cycles): each power-of-two octave is split into a fixed number of
+ * linear sub-buckets, HDR-histogram style, so percentiles stay within
+ * ~12.5% relative error across the full 64-bit range with a few
+ * hundred buckets. No range must be chosen up front, which makes it
+ * the right shape for the trace layer's per-stage latency summaries.
+ */
+class LogHistogram
+{
+  public:
+    /** Linear sub-buckets per power-of-two octave. */
+    static constexpr unsigned kSubBuckets = 8;
+
+    LogHistogram();
+
+    /** Record one sample. */
+    void sample(std::uint64_t v);
+
+    /** Discard all samples. */
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double mean() const
+    {
+        return count_ ? static_cast<double>(sum_) /
+                            static_cast<double>(count_)
+                      : 0.0;
+    }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return count_ ? max_ : 0; }
+    std::uint64_t sum() const { return sum_; }
+
+    /**
+     * Value below which @p q of the samples fall (0 < q <= 1),
+     * reported as the containing bucket's upper bound.
+     */
+    std::uint64_t percentile(double q) const;
+
+    /** Raw bucket counts (sparse tail is all zeros). */
+    const std::vector<std::uint64_t> &buckets() const { return counts_; }
+
+    /** Inclusive upper bound of bucket @p i. */
+    static std::uint64_t bucketHigh(std::size_t i);
+
+  private:
+    static std::size_t bucketIndex(std::uint64_t v);
+
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+    std::uint64_t count_ = 0;
+};
+
+/**
  * Named stats block: components register scalar getters and the
  * harness dumps them at end of run, gem5-stats style.
  */

@@ -10,6 +10,7 @@
 #define SD_COMPCPY_ADAPTIVE_H
 
 #include "cache/cache.h"
+#include "trace/trace.h"
 
 namespace sd::compcpy {
 
@@ -41,11 +42,15 @@ class LlcContentionProbe
         ewma_ = ewma_ < 0 ? rate
                           : config_.ewma_alpha * rate +
                                 (1 - config_.ewma_alpha) * ewma_;
+        ++samples_;
+        const bool was = offload_;
         if (offload_ && ewma_ < config_.threshold - config_.hysteresis)
             offload_ = false;
         else if (!offload_ &&
                  ewma_ > config_.threshold + config_.hysteresis)
             offload_ = true;
+        if (offload_ != was)
+            ++switches_;
     }
 
     /** Current decision: true = offload to SmartDIMM. */
@@ -54,11 +59,29 @@ class LlcContentionProbe
     /** Smoothed miss rate. */
     double missRateEwma() const { return ewma_ < 0 ? 0.0 : ewma_; }
 
+    /** Probe samples taken. */
+    std::uint64_t samples() const { return samples_; }
+
+    /** CPU<->SmartDIMM decision flips (stability metric). */
+    std::uint64_t switches() const { return switches_; }
+
+    /** Contribute probe counters to a stats dump. */
+    void
+    reportStats(trace::StatsBlock &block) const
+    {
+        block.scalar("samples", static_cast<double>(samples_));
+        block.scalar("switches", static_cast<double>(switches_));
+        block.scalar("miss_rate_ewma", missRateEwma());
+        block.scalar("offloading", offload_ ? 1.0 : 0.0);
+    }
+
   private:
     cache::Cache &llc_;
     AdaptiveConfig config_;
     double ewma_ = -1.0;
     bool offload_ = false;
+    std::uint64_t samples_ = 0;
+    std::uint64_t switches_ = 0;
 };
 
 } // namespace sd::compcpy

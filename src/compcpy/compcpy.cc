@@ -19,6 +19,8 @@ struct CompCpyEngine::Flow
     std::size_t cursor = 0;      ///< line/page progress in each stage
     std::size_t outstanding = 0; ///< fan-out joins
     std::vector<std::uint8_t> line; ///< 64 B staging for the copy loop
+    std::uint32_t span = 0;      ///< trace span id (0 = untraced)
+    Tick begin = 0;              ///< start() tick for call latency
 
     Flow() : line(kCacheLineSize) {}
 };
@@ -48,8 +50,23 @@ CompCpyEngine::start(const CompCpyParams &params,
     flow->on_done = std::move(on_done);
     flow->src_pages = divCeil(params.size, kPageSize);
     flow->dst_pages = destPages(params);
+    flow->begin = memory_.events().now();
     ++stats_.calls;
     stats_.pages_offloaded += flow->dst_pages;
+
+    auto &tr = trace::tracer();
+    if (tr.enabled()) {
+        flow->span = tr.beginSpan(
+            params.ulp == smartdimm::UlpKind::kTlsEncrypt ? "tls"
+                                                          : "deflate",
+            params.sbuf, params.dbuf, params.size, flow->begin);
+        // Device-side stages (transform/stage/recycle/use) attribute
+        // their events through these page bindings.
+        for (std::size_t p = 0; p < flow->src_pages; ++p)
+            tr.bindPage(params.sbuf / kPageSize + p, flow->span);
+        for (std::size_t p = 0; p < flow->dst_pages; ++p)
+            tr.bindPage(params.dbuf / kPageSize + p, flow->span);
+    }
 
     checkFreePages(flow);
 }
@@ -101,6 +118,8 @@ CompCpyEngine::forceRecycle(std::shared_ptr<Flow> flow,
     // Algorithm 1: read the pending list, flush those pages so their
     // cached destination lines write back and drain the scratchpad.
     ++stats_.force_recycles;
+    SD_TRACE_EVENT(flow->span, trace::Stage::kForceRecycle,
+                   memory_.events().now(), flow->params.dbuf);
     auto reg = std::make_shared<std::array<std::uint8_t, kCacheLineSize>>();
     memory_.mmioRead(driver_.mmio(smartdimm::MmioReg::kPendingList),
                      reg->data(),
@@ -166,8 +185,9 @@ CompCpyEngine::flushSource(std::shared_ptr<Flow> flow)
         divCeil(flow->params.size, kCacheLineSize);
     auto remaining = std::make_shared<std::size_t>(lines);
     for (std::size_t l = 0; l < lines; ++l) {
-        memory_.flushLine(flow->params.sbuf + l * kCacheLineSize,
-                          [this, flow, remaining](Tick) {
+        const Addr line = flow->params.sbuf + l * kCacheLineSize;
+        memory_.flushLine(line, [this, flow, remaining, line](Tick at) {
+            SD_TRACE_EVENT(flow->span, trace::Stage::kFlush, at, line);
             if (--*remaining == 0)
                 registerPages(flow);
         });
@@ -211,8 +231,10 @@ CompCpyEngine::registerPages(std::shared_ptr<Flow> flow)
 
     auto data = std::make_shared<std::array<std::uint8_t, kCacheLineSize>>(
         burst);
-    memory_.mmioWrite(driver_.mmio(smartdimm::MmioReg::kRegister),
-                      data->data(), [this, flow, data](Tick) {
+    const Addr reg_addr = driver_.mmio(smartdimm::MmioReg::kRegister);
+    memory_.mmioWrite(reg_addr, data->data(),
+                      [this, flow, data, reg_addr](Tick at) {
+        SD_TRACE_EVENT(flow->span, trace::Stage::kRegister, at, reg_addr);
         registerPages(flow);
     });
 }
@@ -247,7 +269,8 @@ CompCpyEngine::copyLines(std::shared_ptr<Flow> flow)
                          [this, flow, joined, dst, staging](Tick) {
             ++stats_.lines_copied;
             memory_.writeLine(dst, staging->data(),
-                              [this, flow, joined, staging](Tick) {
+                              [this, flow, joined, dst, staging](Tick at) {
+                SD_TRACE_EVENT(flow->span, trace::Stage::kCopy, at, dst);
                 if (--*joined == 0)
                     copyLines(flow);
             });
@@ -270,7 +293,7 @@ CompCpyEngine::zeroTrailer(std::shared_ptr<Flow> flow)
             : payload_lines;
 
     if (payload_lines >= total_lines) {
-        flow->on_done();
+        finishFlow(flow);
         return;
     }
 
@@ -279,11 +302,18 @@ CompCpyEngine::zeroTrailer(std::shared_ptr<Flow> flow)
     static const std::array<std::uint8_t, kCacheLineSize> kZeros{};
     for (std::size_t l = payload_lines; l < total_lines; ++l) {
         memory_.writeLine(p.dbuf + l * kCacheLineSize, kZeros.data(),
-                          [flow, remaining](Tick) {
+                          [this, flow, remaining](Tick) {
             if (--*remaining == 0)
-                flow->on_done();
+                finishFlow(flow);
         });
     }
+}
+
+void
+CompCpyEngine::finishFlow(const std::shared_ptr<Flow> &flow)
+{
+    call_latency_.sample(memory_.events().now() - flow->begin);
+    flow->on_done();
 }
 
 void
@@ -294,12 +324,31 @@ CompCpyEngine::use(Addr dbuf, std::size_t bytes,
     auto remaining = std::make_shared<std::size_t>(lines);
     auto done = std::make_shared<std::function<void()>>(std::move(on_done));
     for (std::size_t l = 0; l < lines; ++l) {
-        memory_.flushLine(dbuf + l * kCacheLineSize,
-                          [remaining, done](Tick) {
+        const Addr line = dbuf + l * kCacheLineSize;
+        memory_.flushLine(line, [remaining, done, line](Tick at) {
+            SD_TRACE_PAGE_EVENT(line / kPageSize, trace::Stage::kUse, at,
+                                line);
             if (--*remaining == 0)
                 (*done)();
         });
     }
+}
+
+void
+CompCpyEngine::reportStats(trace::StatsBlock &block) const
+{
+    block.scalar("calls", static_cast<double>(stats_.calls));
+    block.scalar("pages_offloaded",
+                 static_cast<double>(stats_.pages_offloaded));
+    block.scalar("force_recycles",
+                 static_cast<double>(stats_.force_recycles));
+    block.scalar("freepages_refreshes",
+                 static_cast<double>(stats_.freepages_refreshes));
+    block.scalar("lines_copied",
+                 static_cast<double>(stats_.lines_copied));
+    block.scalar("shared_lock_acquisitions",
+                 static_cast<double>(shared_.lock_acquisitions));
+    block.hist("call_latency_ticks", call_latency_);
 }
 
 void

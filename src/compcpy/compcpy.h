@@ -18,11 +18,13 @@
 #include <vector>
 
 #include "cache/memory_system.h"
+#include "common/stats.h"
 #include "common/types.h"
 #include "compcpy/driver.h"
 #include "crypto/aes_gcm.h"
 #include "smartdimm/dsa.h"
 #include "smartdimm/mmio_layout.h"
+#include "trace/trace.h"
 
 namespace sd::compcpy {
 
@@ -102,6 +104,12 @@ class CompCpyEngine
 
     const CompCpyStats &stats() const { return stats_; }
 
+    /** Start-to-done latency distribution of completed calls (ticks). */
+    const LogHistogram &callLatency() const { return call_latency_; }
+
+    /** Contribute engine counters to a stats dump. */
+    void reportStats(trace::StatsBlock &block) const;
+
   private:
     struct Flow; ///< per-invocation continuation state
 
@@ -112,11 +120,13 @@ class CompCpyEngine
     void registerPages(std::shared_ptr<Flow> flow);
     void copyLines(std::shared_ptr<Flow> flow);
     void zeroTrailer(std::shared_ptr<Flow> flow);
+    void finishFlow(const std::shared_ptr<Flow> &flow);
 
     cache::MemorySystem &memory_;
     Driver &driver_;
     SharedState &shared_;
     CompCpyStats stats_;
+    LogHistogram call_latency_;
 };
 
 } // namespace sd::compcpy

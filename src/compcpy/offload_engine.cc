@@ -18,6 +18,25 @@ AdaptiveTlsEngine::AdaptiveTlsEngine(cache::MemorySystem &memory,
     std::memcpy(key_, key, sizeof(key_));
 }
 
+void
+AdaptiveTlsEngine::registerStats(trace::StatsRegistry &registry,
+                                 const std::string &prefix) const
+{
+    registry.add(prefix + "engine", [this](trace::StatsBlock &block) {
+        block.scalar("cpu_records", static_cast<double>(cpu_records_));
+        block.scalar("offloaded_records",
+                     static_cast<double>(offloaded_records_));
+        block.scalar("records",
+                     static_cast<double>(cpu_records_ + offloaded_records_));
+    });
+    registry.add(prefix + "probe", [this](trace::StatsBlock &block) {
+        probe_.reportStats(block);
+    });
+    registry.add(prefix + "compcpy", [this](trace::StatsBlock &block) {
+        compcpy_.reportStats(block);
+    });
+}
+
 EngineRecord
 AdaptiveTlsEngine::protectRecord(const std::uint8_t *plain,
                                  std::size_t len,

@@ -63,6 +63,15 @@ class AdaptiveTlsEngine
     std::uint64_t cpuRecords() const { return cpu_records_; }
     std::uint64_t offloadedRecords() const { return offloaded_records_; }
 
+    /**
+     * Register "<prefix>engine", "<prefix>probe" and
+     * "<prefix>compcpy" providers into @p registry. Providers
+     * reference this object — remove them (or drop the registry)
+     * before destroying it.
+     */
+    void registerStats(trace::StatsRegistry &registry,
+                       const std::string &prefix = "") const;
+
   private:
     cache::MemorySystem &memory_;
     Driver &driver_;

@@ -87,6 +87,44 @@ MemoryController::emit(DdrCommandType type, const Request &req, Tick at)
     dimm_.onCommand(cmd);
     if (observer_)
         observer_->observe(cmd);
+
+    auto &tr = trace::tracer();
+    if (tr.ddrCapture()) {
+        trace::Stage stage;
+        switch (type) {
+          case DdrCommandType::kReadCas:
+            stage = trace::Stage::kDdrRead;
+            break;
+          case DdrCommandType::kWriteCas:
+            stage = trace::Stage::kDdrWrite;
+            break;
+          case DdrCommandType::kActivate:
+            stage = trace::Stage::kDdrActivate;
+            break;
+          default:
+            stage = trace::Stage::kDdrPrecharge;
+            break;
+        }
+        tr.ddrEvent(stage, at, cmd.addr);
+    }
+}
+
+void
+MemoryController::reportStats(trace::StatsBlock &block) const
+{
+    block.scalar("reads", static_cast<double>(stats_.reads));
+    block.scalar("writes", static_cast<double>(stats_.writes));
+    block.scalar("row_hits", static_cast<double>(stats_.row_hits));
+    block.scalar("row_misses", static_cast<double>(stats_.row_misses));
+    block.scalar("row_conflicts",
+                 static_cast<double>(stats_.row_conflicts));
+    block.scalar("alert_retries",
+                 static_cast<double>(stats_.alert_retries));
+    block.scalar("turnarounds", static_cast<double>(stats_.turnarounds));
+    block.scalar("bytes_moved", static_cast<double>(stats_.bytesMoved()));
+    block.scalar("bus_busy_cycles",
+                 static_cast<double>(bus_busy_cycles_));
+    block.hist("read_latency_ticks", read_latency_);
 }
 
 bool
@@ -189,7 +227,9 @@ MemoryController::issueRequest(std::deque<Request> &queue,
         auto *read_data = done.read_data;
         auto cb = std::move(done.cb);
         auto retries = done.retries;
-        events_.schedule(data_end, [this, cmd, read_data, cb, retries] {
+        const Tick enq = done.enqueued;
+        events_.schedule(data_end,
+                         [this, cmd, read_data, cb, retries, enq] {
             const ReadResponse resp = dimm_.onRead(cmd, read_data);
             if (resp == ReadResponse::kAlertN) {
                 // S13: device asserted ALERT_N — requeue the rdCAS.
@@ -199,7 +239,7 @@ MemoryController::issueRequest(std::deque<Request> &queue,
                 retry.coord = cmd.coord;
                 retry.read_data = read_data;
                 retry.cb = cb;
-                retry.enqueued = events_.now();
+                retry.enqueued = enq; // latency spans all retries
                 retry.retries = retries + 1;
                 SD_ASSERT(retry.retries < 64,
                           "rdCAS retried 64 times — DSA wedged?");
@@ -208,6 +248,7 @@ MemoryController::issueRequest(std::deque<Request> &queue,
                 return;
             }
             ++stats_.reads;
+            read_latency_.sample(events_.now() - enq);
             if (cb)
                 cb(events_.now());
         });

@@ -21,6 +21,7 @@
 #include "mem/dram_command.h"
 #include "sim/clock.h"
 #include "sim/event_queue.h"
+#include "trace/trace.h"
 
 namespace sd::mem {
 
@@ -84,6 +85,12 @@ class MemoryController
     /** Channel data-bus busy cycles (bandwidth-utilisation metric). */
     std::uint64_t busBusyCycles() const { return bus_busy_cycles_; }
 
+    /** Enqueue-to-data read latency distribution (ticks). */
+    const LogHistogram &readLatency() const { return read_latency_; }
+
+    /** Contribute this channel's counters to a stats dump. */
+    void reportStats(trace::StatsBlock &block) const;
+
   private:
     struct Request
     {
@@ -132,6 +139,7 @@ class MemoryController
     bool cas_issued_ = false; ///< any CAS issued yet (turnaround gate)
     std::uint64_t bus_busy_cycles_ = 0;
     ControllerStats stats_;
+    LogHistogram read_latency_;
 };
 
 } // namespace sd::mem

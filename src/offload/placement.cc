@@ -55,7 +55,7 @@ class CpuPlacement final : public Placement
     PlacementKind kind() const override { return PlacementKind::kCpu; }
 
     UlpCost
-    messageCost(Ulp ulp, std::size_t bytes, const LoadContext &ctx)
+    computeCost(Ulp ulp, std::size_t bytes, const LoadContext &ctx)
         const override
     {
         UlpCost cost;
@@ -108,7 +108,7 @@ class SmartNicPlacement final : public Placement
     }
 
     UlpCost
-    messageCost(Ulp ulp, std::size_t bytes, const LoadContext &ctx)
+    computeCost(Ulp ulp, std::size_t bytes, const LoadContext &ctx)
         const override
     {
         UlpCost cost;
@@ -173,7 +173,7 @@ class QatPlacement final : public Placement
     }
 
     UlpCost
-    messageCost(Ulp ulp, std::size_t bytes, const LoadContext &ctx)
+    computeCost(Ulp ulp, std::size_t bytes, const LoadContext &ctx)
         const override
     {
         UlpCost cost;
@@ -229,7 +229,7 @@ class SmartDimmPlacement final : public Placement
     }
 
     UlpCost
-    messageCost(Ulp ulp, std::size_t bytes, const LoadContext &ctx)
+    computeCost(Ulp ulp, std::size_t bytes, const LoadContext &ctx)
         const override
     {
         UlpCost cost;
@@ -270,6 +270,32 @@ class SmartDimmPlacement final : public Placement
 };
 
 } // namespace
+
+UlpCost
+Placement::messageCost(Ulp ulp, std::size_t bytes,
+                       const LoadContext &ctx) const
+{
+    const UlpCost cost = computeCost(ulp, bytes, ctx);
+    ++eval_.evaluations;
+    if (!cost.supported) {
+        ++eval_.unsupported;
+        return cost;
+    }
+    eval_.bytes += static_cast<double>(bytes);
+    eval_.cpu_cycles += cost.cpu_cycles;
+    eval_.dram_bytes += cost.dram_bytes;
+    return cost;
+}
+
+void
+Placement::reportStats(trace::StatsBlock &block) const
+{
+    block.scalar("evaluations", static_cast<double>(eval_.evaluations));
+    block.scalar("unsupported", static_cast<double>(eval_.unsupported));
+    block.scalar("bytes", eval_.bytes);
+    block.scalar("cpu_cycles", eval_.cpu_cycles);
+    block.scalar("dram_bytes", eval_.dram_bytes);
+}
 
 std::unique_ptr<Placement>
 makePlacement(PlacementKind kind, const CostModel &model)

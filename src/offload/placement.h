@@ -15,6 +15,7 @@
 #include <string>
 
 #include "offload/cost_model.h"
+#include "trace/trace.h"
 
 namespace sd::offload {
 
@@ -52,6 +53,16 @@ struct LoadContext
     double output_ratio = 1.0;   ///< compressed-output / input size
 };
 
+/** Evaluation counters accumulated across messageCost() calls. */
+struct PlacementEvalStats
+{
+    std::uint64_t evaluations = 0;  ///< cost-model queries
+    std::uint64_t unsupported = 0;  ///< queries the placement rejected
+    double bytes = 0;               ///< message bytes evaluated
+    double cpu_cycles = 0;          ///< summed predicted on-core work
+    double dram_bytes = 0;          ///< summed predicted DRAM traffic
+};
+
 /** One accelerator placement. */
 class Placement
 {
@@ -63,8 +74,22 @@ class Placement
     virtual PlacementKind kind() const = 0;
 
     /** Resource cost of processing one @p bytes message of @p ulp. */
-    virtual UlpCost messageCost(Ulp ulp, std::size_t bytes,
+    UlpCost messageCost(Ulp ulp, std::size_t bytes,
+                        const LoadContext &ctx) const;
+
+    /** Counters over every messageCost() call so far. */
+    const PlacementEvalStats &evalStats() const { return eval_; }
+
+    /** Contribute the evaluation counters to a stats dump. */
+    void reportStats(trace::StatsBlock &block) const;
+
+  protected:
+    /** Per-placement cost model, wrapped by messageCost(). */
+    virtual UlpCost computeCost(Ulp ulp, std::size_t bytes,
                                 const LoadContext &ctx) const = 0;
+
+  private:
+    mutable PlacementEvalStats eval_;
 };
 
 /** Factory over the four placements of the evaluation. */

@@ -87,7 +87,8 @@ BufferDevice::registerTls(const std::uint8_t *data)
                 crypto::GcmIv iv{};
                 std::memcpy(iv.data(), reg.iv, iv.size());
                 return iv;
-            }(), reg.message_len, config_.dsa_line_latency);
+            }(), reg.message_len, config_.dsa_line_latency,
+            &dsa_stats_);
 
     auto job = std::make_shared<TlsDsaJob>(state, reg.page_index);
 
@@ -140,7 +141,8 @@ BufferDevice::registerDeflate(const std::uint8_t *data)
 {
     const auto reg = DeflatePageRegistration::unpack(data);
     auto job = std::make_shared<DeflateDsaJob>(
-        reg.payload_bytes, deflate_config_, config_.dsa_line_latency);
+        reg.payload_bytes, deflate_config_, config_.dsa_line_latency,
+        &dsa_stats_);
 
     const auto slot = config_memory_.allocate();
     SD_ASSERT(slot.has_value(), "config memory exhausted");
@@ -203,8 +205,13 @@ BufferDevice::materializeResults(std::uint64_t dbuf_page)
     for (unsigned line = 0; line < kLinesPerPage; ++line) {
         if (scratchpad_.lineComputed(entry.scratch_page, line))
             continue;
-        if (entry.job->resultLine(line, line_data))
+        if (entry.job->resultLine(line, line_data)) {
             scratchpad_.writeLine(entry.scratch_page, line, line_data);
+            SD_TRACE_PAGE_EVENT(dbuf_page, trace::Stage::kStage,
+                                events_.now(),
+                                dbuf_page * kPageSize +
+                                    line * kCacheLineSize);
+        }
     }
 }
 
@@ -222,6 +229,9 @@ BufferDevice::feedDsa(std::uint64_t sbuf_page, unsigned line,
     std::vector<std::uint8_t> copy(data, data + kCacheLineSize);
     auto job = entry.job;
     const std::uint64_t dbuf_page = entry.dbuf_page;
+    SD_TRACE_PAGE_EVENT(sbuf_page, trace::Stage::kTransform,
+                        events_.now(),
+                        sbuf_page * kPageSize + line * kCacheLineSize);
 
     const Cycles busy = job->processLine(line, copy.data());
     const Tick ready_at =
@@ -326,6 +336,7 @@ BufferDevice::onRead(const mem::DdrCommand &cmd, std::uint8_t *data)
     }
     // S13: computation pending — ALERT_N retry.
     ++stats_.alert_n;
+    SD_TRACE_PAGE_EVENT(page, trace::Stage::kAlert, events_.now(), addr);
     return mem::ReadResponse::kAlertN;
 }
 
@@ -381,8 +392,56 @@ BufferDevice::onWrite(const mem::DdrCommand &cmd, const std::uint8_t *data)
         scratchpad_.drainLine(dest->second.scratch_page, line, staged);
     store_.write(addr, staged, kCacheLineSize);
     ++stats_.dbuf_recycles;
+    SD_TRACE_PAGE_EVENT(page, trace::Stage::kRecycle, events_.now(),
+                        addr);
     if (page_freed)
         retirePage(page);
+}
+
+void
+BufferDevice::reportStats(trace::StatsBlock &block) const
+{
+    block.scalar("plain_reads", static_cast<double>(stats_.plain_reads));
+    block.scalar("plain_writes",
+                 static_cast<double>(stats_.plain_writes));
+    block.scalar("mmio_reads", static_cast<double>(stats_.mmio_reads));
+    block.scalar("mmio_writes", static_cast<double>(stats_.mmio_writes));
+    block.scalar("sbuf_reads", static_cast<double>(stats_.sbuf_reads));
+    block.scalar("dbuf_recycles",
+                 static_cast<double>(stats_.dbuf_recycles));
+    block.scalar("dbuf_write_ignored",
+                 static_cast<double>(stats_.dbuf_write_ignored));
+    block.scalar("dbuf_scratch_reads",
+                 static_cast<double>(stats_.dbuf_scratch_reads));
+    block.scalar("alert_n", static_cast<double>(stats_.alert_n));
+    block.scalar("registrations",
+                 static_cast<double>(stats_.registrations));
+
+    const ScratchpadStats &sp = scratchpad_.stats();
+    block.scalar("scratchpad.allocs", static_cast<double>(sp.allocs));
+    block.scalar("scratchpad.self_recycles",
+                 static_cast<double>(sp.self_recycles));
+    block.scalar("scratchpad.force_recycles",
+                 static_cast<double>(sp.force_recycles));
+    block.scalar("scratchpad.peak_pages",
+                 static_cast<double>(sp.peak_pages));
+    block.scalar("scratchpad.live_pages",
+                 static_cast<double>(scratchpad_.livePages()));
+
+    block.scalar("dsa.tls_lines",
+                 static_cast<double>(dsa_stats_.tls_lines));
+    block.scalar("dsa.tls_messages",
+                 static_cast<double>(dsa_stats_.tls_messages));
+    block.scalar("dsa.tls_busy_cycles",
+                 static_cast<double>(dsa_stats_.tls_busy_cycles));
+    block.scalar("dsa.deflate_lines",
+                 static_cast<double>(dsa_stats_.deflate_lines));
+    block.scalar("dsa.deflate_pages",
+                 static_cast<double>(dsa_stats_.deflate_pages));
+    block.scalar("dsa.deflate_busy_cycles",
+                 static_cast<double>(dsa_stats_.deflate_busy_cycles));
+    block.scalar("dsa.deflate_output_bytes",
+                 static_cast<double>(dsa_stats_.deflate_output_bytes));
 }
 
 } // namespace sd::smartdimm

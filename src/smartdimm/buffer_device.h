@@ -40,6 +40,7 @@
 #include "smartdimm/dsa.h"
 #include "smartdimm/scratchpad.h"
 #include "smartdimm/tls_dsa.h"
+#include "trace/trace.h"
 
 namespace sd::smartdimm {
 
@@ -83,7 +84,11 @@ class BufferDevice : public mem::DimmDevice
     // ----- observability -----------------------------------------------------
 
     const ArbiterStats &stats() const { return stats_; }
+    const DsaStats &dsaStats() const { return dsa_stats_; }
     const Scratchpad &scratchpad() const { return scratchpad_; }
+
+    /** Contribute arbiter + DSA + scratchpad counters to a dump. */
+    void reportStats(trace::StatsBlock &block) const;
     const ConfigMemory &configMemory() const { return config_memory_; }
     const CuckooTable &translationTable() const { return translation_; }
     CuckooTable &translationTable() { return translation_; }
@@ -151,6 +156,7 @@ class BufferDevice : public mem::DimmDevice
     std::unordered_map<std::uint64_t, std::uint64_t> sbuf_message_;
 
     ArbiterStats stats_;
+    DsaStats dsa_stats_;
 };
 
 } // namespace sd::smartdimm

@@ -8,10 +8,10 @@ namespace sd::smartdimm {
 
 DeflateDsaJob::DeflateDsaJob(std::size_t payload_bytes,
                              const compress::HwDeflateConfig &hw_config,
-                             Cycles line_latency)
+                             Cycles line_latency, DsaStats *stats)
     : payload_bytes_(payload_bytes),
       payload_lines_(divCeil(payload_bytes, kCacheLineSize)),
-      hw_config_(hw_config), line_latency_(line_latency)
+      hw_config_(hw_config), line_latency_(line_latency), stats_(stats)
 {
     SD_ASSERT(payload_bytes_ >= 1 &&
                   payload_bytes_ <= kDeflateMaxPayload,
@@ -45,6 +45,14 @@ DeflateDsaJob::processLine(unsigned line, const std::uint8_t *data)
                   "input should use stored blocks)");
         result_.resize(kPageSize, 0);
         done_ = true;
+        if (stats_) {
+            ++stats_->deflate_pages;
+            stats_->deflate_output_bytes += resultBytes();
+        }
+    }
+    if (stats_) {
+        ++stats_->deflate_lines;
+        stats_->deflate_busy_cycles += line_latency_;
     }
     return line_latency_;
 }

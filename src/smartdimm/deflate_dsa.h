@@ -34,10 +34,11 @@ class DeflateDsaJob : public DsaJob
      * @param payload_bytes valid bytes within the source page
      * @param hw_config pipeline geometry (8-byte window, 8 banks...)
      * @param line_latency busy cycles per consumed source line
+     * @param stats optional aggregate counters (buffer-device owned)
      */
     DeflateDsaJob(std::size_t payload_bytes,
                   const compress::HwDeflateConfig &hw_config,
-                  Cycles line_latency);
+                  Cycles line_latency, DsaStats *stats = nullptr);
 
     UlpKind kind() const override { return UlpKind::kDeflate; }
     bool ordered() const override { return true; }
@@ -58,6 +59,7 @@ class DeflateDsaJob : public DsaJob
     std::vector<std::uint8_t> input_;
     std::vector<std::uint8_t> result_;
     compress::HwDeflateStats hw_stats_{};
+    DsaStats *stats_ = nullptr;
     unsigned next_line_ = 0;
     bool done_ = false;
 };

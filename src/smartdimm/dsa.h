@@ -26,6 +26,22 @@ enum class UlpKind : std::uint8_t
 };
 
 /**
+ * Aggregate DSA activity counters, owned by the buffer device and
+ * updated by the jobs it spawns (the jobs themselves are transient,
+ * per-page objects).
+ */
+struct DsaStats
+{
+    std::uint64_t tls_lines = 0;          ///< cachelines encrypted
+    std::uint64_t tls_messages = 0;       ///< records completed
+    std::uint64_t tls_busy_cycles = 0;    ///< AES/GHASH pipe busy
+    std::uint64_t deflate_lines = 0;      ///< cachelines consumed
+    std::uint64_t deflate_pages = 0;      ///< pages compressed
+    std::uint64_t deflate_busy_cycles = 0;
+    std::uint64_t deflate_output_bytes = 0;
+};
+
+/**
  * Per-offload DSA state machine. One instance exists per registered
  * source page; the arbiter feeds it lines and collects results.
  */

@@ -10,10 +10,10 @@ namespace sd::smartdimm {
 TlsMessageState::TlsMessageState(const std::uint8_t key[16],
                                  const crypto::GcmIv &iv,
                                  std::size_t message_len,
-                                 Cycles line_latency)
+                                 Cycles line_latency, DsaStats *stats)
     : ctx_(key, crypto::Aes::KeySize::k128),
       gcm_(ctx_, iv, message_len), message_len_(message_len),
-      line_latency_(line_latency)
+      line_latency_(line_latency), stats_(stats)
 {
 }
 
@@ -22,6 +22,12 @@ TlsMessageState::processLine(std::size_t index, const std::uint8_t *in,
                              std::uint8_t *out)
 {
     gcm_.processLine(index, in, out);
+    if (stats_) {
+        ++stats_->tls_lines;
+        stats_->tls_busy_cycles += line_latency_;
+        if (gcm_.complete())
+            ++stats_->tls_messages;
+    }
     return line_latency_;
 }
 

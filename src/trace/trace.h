@@ -1,0 +1,254 @@
+/**
+ * @file
+ * End-to-end observability for the CompCpy pipeline.
+ *
+ * Two cooperating pieces:
+ *
+ *  - Tracer: a span-based event recorder. Each CompCpy invocation
+ *    opens a span; every pipeline stage — source cache flush, MMIO
+ *    registration, 64 B copy loop, DSA transform, scratchpad staging,
+ *    self-/force-recycle drain, USE-side flush — appends a
+ *    cycle-stamped event to the span. Device-side components that do
+ *    not know about spans attribute events through a page→span
+ *    binding the engine establishes at span start. The memory
+ *    controllers can additionally mirror their full DDR command
+ *    stream into the tracer (golden-trace regression tests diff this
+ *    sequence against a checked-in file).
+ *
+ *  - StatsRegistry: components register named provider blocks that
+ *    emit Counter/Average/Histogram/LogHistogram summaries on demand;
+ *    the harness dumps everything as JSON or CSV after a run.
+ *
+ * Cost model: every recording entry point begins with a single
+ * predictable branch on `enabled_`, so a disabled tracer adds
+ * near-zero overhead to the simulation hot paths. Defining
+ * SD_TRACE_DISABLED at build time additionally compiles the recording
+ * macros out entirely.
+ */
+
+#ifndef SD_TRACE_TRACE_H
+#define SD_TRACE_TRACE_H
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace sd::trace {
+
+/** Pipeline stages and DDR command mirror events a span can carry. */
+enum class Stage : std::uint8_t
+{
+    kFlush = 0,     ///< sbuf clflush completed (Alg. 2 line 19)
+    kRegister,      ///< MMIO page-pair registration write (S17)
+    kCopy,          ///< one 64 B line of the copy loop landed
+    kTransform,     ///< DSA consumed an sbuf line (S6)
+    kStage,         ///< DSA result line staged in the Scratchpad
+    kRecycle,       ///< Self-Recycle drain of a staged line (S8/S9)
+    kForceRecycle,  ///< Force-Recycle invoked (Alg. 1)
+    kUse,           ///< USE-side flush of a dbuf line (Alg. 2 l. 32)
+    kAlert,         ///< ALERT_N retry of a premature dbuf read (S13)
+    kDdrRead,       ///< mirrored rdCAS
+    kDdrWrite,      ///< mirrored wrCAS
+    kDdrActivate,   ///< mirrored ACT
+    kDdrPrecharge,  ///< mirrored PRE
+    kCount,
+};
+
+/** Stable short name used in every dump format. */
+const char *stageName(Stage s);
+
+/** One cycle-stamped trace record. */
+struct TraceEvent
+{
+    Tick tick = 0;
+    std::uint32_t span = 0; ///< owning span id, 0 = unattributed
+    Stage stage = Stage::kCount;
+    Addr addr = 0;
+};
+
+/** One CompCpy invocation (or other traced unit of work). */
+struct Span
+{
+    std::uint32_t id = 0;
+    const char *kind = ""; ///< "tls" | "deflate" | caller-defined
+    Addr sbuf = 0;
+    Addr dbuf = 0;
+    std::size_t bytes = 0;
+    Tick begin = 0;
+};
+
+/**
+ * A flat, ordered set of (name, value) rows one component contributes
+ * to a stats dump. Histogram helpers expand into the conventional
+ * summary rows (count/mean/p50/p90/p99/max).
+ */
+class StatsBlock
+{
+  public:
+    void scalar(const std::string &name, double value);
+
+    /** Summarise a linear histogram. */
+    void hist(const std::string &name, const Histogram &h);
+
+    /** Summarise a log histogram (latency-style percentiles). */
+    void hist(const std::string &name, const LogHistogram &h);
+
+    const std::vector<std::pair<std::string, double>> &
+    entries() const
+    {
+        return entries_;
+    }
+
+  private:
+    std::vector<std::pair<std::string, double>> entries_;
+};
+
+/**
+ * Named stats providers, collected lazily at dump time so components
+ * do not pay any bookkeeping cost during the run. Register with a
+ * stable component name; re-registering replaces. Providers capture
+ * raw pointers into their components — remove (or discard the
+ * registry) before the component is destroyed.
+ */
+class StatsRegistry
+{
+  public:
+    using Provider = std::function<void(StatsBlock &)>;
+
+    void add(const std::string &component, Provider provider);
+    void remove(const std::string &component);
+    void clear() { providers_.clear(); }
+
+    /** Collect every provider into (component, block) rows. */
+    std::vector<std::pair<std::string, StatsBlock>> collect() const;
+
+    /** `{"component": {"name": value, ...}, ...}` */
+    void dumpJson(std::ostream &os) const;
+
+    /** `component,name,value` rows. */
+    void dumpCsv(std::ostream &os) const;
+
+  private:
+    /** Insertion-ordered so dumps are reproducible. */
+    std::vector<std::pair<std::string, Provider>> providers_;
+};
+
+/** Span/event recorder. Use the process-wide instance via tracer(). */
+class Tracer
+{
+  public:
+    bool enabled() const { return enabled_; }
+
+    /** @return true when DDR commands should be mirrored too. */
+    bool ddrCapture() const { return enabled_ && capture_ddr_; }
+
+    /**
+     * Start recording. @p capture_ddr additionally mirrors every DDR
+     * command the memory controllers emit (verbose; used by the
+     * golden-trace tests and fig09-style analyses).
+     */
+    void enable(bool capture_ddr = false);
+
+    /** Stop recording; captured data stays until clear(). */
+    void disable() { enabled_ = false; }
+
+    /** Drop spans, events and page bindings (keeps enable state). */
+    void clear();
+
+    /** Cap the event buffer; excess events count as dropped. */
+    void setMaxEvents(std::size_t n) { max_events_ = n; }
+
+    // ----- recording --------------------------------------------------------
+
+    /** Open a span. @return its id (0 when disabled). */
+    std::uint32_t beginSpan(const char *kind, Addr sbuf, Addr dbuf,
+                            std::size_t bytes, Tick now);
+
+    /** Attribute device-side events on @p page to @p span. */
+    void bindPage(std::uint64_t page, std::uint32_t span);
+
+    /** @return span bound to @p page, or 0. */
+    std::uint32_t spanOfPage(std::uint64_t page) const;
+
+    /** Record an event on an explicit span (0 is dropped). */
+    void event(std::uint32_t span, Stage stage, Tick tick, Addr addr = 0);
+
+    /** Record an event attributed through the page binding. */
+    void
+    pageEvent(std::uint64_t page, Stage stage, Tick tick, Addr addr = 0)
+    {
+        if (!enabled_)
+            return;
+        event(spanOfPage(page), stage, tick, addr);
+    }
+
+    /** Mirror one DDR command (recorded even when unattributed). */
+    void ddrEvent(Stage stage, Tick tick, Addr addr);
+
+    // ----- inspection -------------------------------------------------------
+
+    const std::vector<Span> &spans() const { return spans_; }
+    const std::vector<TraceEvent> &events() const { return events_; }
+    std::uint64_t droppedEvents() const { return dropped_; }
+
+    /** Events of @p span grouped in capture order. */
+    std::vector<TraceEvent> spanEvents(std::uint32_t span) const;
+
+    /** @return true when @p span recorded at least one @p stage. */
+    bool spanHasStage(std::uint32_t span, Stage stage) const;
+
+    // ----- dumping ----------------------------------------------------------
+
+    /**
+     * Full JSON report: spans with per-stage {count, first, last}
+     * summaries, cross-span per-stage completion-latency percentiles,
+     * and (when given) an embedded stats registry dump.
+     */
+    void dumpJson(std::ostream &os,
+                  const StatsRegistry *stats = nullptr) const;
+
+    /** `tick,span,stage,addr` rows in capture order. */
+    void dumpCsv(std::ostream &os) const;
+
+    /** dumpJson into @p path. @return false on I/O failure. */
+    bool writeJsonFile(const std::string &path,
+                       const StatsRegistry *stats = nullptr) const;
+
+    /** dumpCsv into @p path. @return false on I/O failure. */
+    bool writeCsvFile(const std::string &path) const;
+
+  private:
+    bool enabled_ = false;
+    bool capture_ddr_ = false;
+    std::size_t max_events_ = 1u << 20;
+    std::uint64_t dropped_ = 0;
+    std::vector<Span> spans_;
+    std::vector<TraceEvent> events_;
+    std::unordered_map<std::uint64_t, std::uint32_t> page_span_;
+};
+
+/** The process-wide tracer every simulator component records into. */
+Tracer &tracer();
+
+} // namespace sd::trace
+
+// Recording macros: compiled out entirely under SD_TRACE_DISABLED,
+// otherwise a single branch on the enabled flag.
+#ifdef SD_TRACE_DISABLED
+#define SD_TRACE_EVENT(span, stage, tick, addr) ((void)0)
+#define SD_TRACE_PAGE_EVENT(page, stage, tick, addr) ((void)0)
+#else
+#define SD_TRACE_EVENT(span, stage, tick, addr)                             \
+    ::sd::trace::tracer().event((span), (stage), (tick), (addr))
+#define SD_TRACE_PAGE_EVENT(page, stage, tick, addr)                        \
+    ::sd::trace::tracer().pageEvent((page), (stage), (tick), (addr))
+#endif
+
+#endif // SD_TRACE_TRACE_H

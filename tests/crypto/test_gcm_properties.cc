@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Property-based AES-GCM testing: for randomized message sizes and
+ * arbitrary chunkings/orderings of the incremental engine, the
+ * (ciphertext, tag) pair must equal the one-shot context's output;
+ * and flipping any single bit of ciphertext, tag, IV or AAD must make
+ * tag verification fail.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "crypto/aes_gcm.h"
+
+namespace {
+
+using sd::Rng;
+using sd::crypto::Aes;
+using sd::crypto::GcmContext;
+using sd::crypto::GcmIv;
+using sd::crypto::GcmTag;
+using sd::crypto::IncrementalGcm;
+
+struct Message
+{
+    GcmContext ctx;
+    GcmIv iv{};
+    std::vector<std::uint8_t> plain;
+
+    Message(std::size_t len, Rng &rng) : ctx(makeCtx(rng)), plain(len)
+    {
+        rng.fill(plain.data(), len);
+        rng.fill(iv.data(), iv.size());
+    }
+
+    static GcmContext
+    makeCtx(Rng &rng)
+    {
+        std::uint8_t key[16];
+        rng.fill(key, sizeof(key));
+        return GcmContext(key, Aes::KeySize::k128);
+    }
+
+    /** One-shot reference encryption. */
+    GcmTag
+    oneShot(std::vector<std::uint8_t> &cipher) const
+    {
+        cipher.assign(plain.size(), 0);
+        return ctx.encrypt(iv, plain.data(), plain.size(),
+                           cipher.data());
+    }
+};
+
+TEST(GcmProperties, AnyLineOrderMatchesOneShot)
+{
+    Rng rng(101);
+    for (int round = 0; round < 30; ++round) {
+        const std::size_t len = 1 + rng.below(8 * sd::kCacheLineSize);
+        Message msg(len, rng);
+        SCOPED_TRACE("round " + std::to_string(round) + " len " +
+                     std::to_string(len));
+
+        std::vector<std::uint8_t> expected;
+        const GcmTag want = msg.oneShot(expected);
+
+        IncrementalGcm inc(msg.ctx, msg.iv, len);
+        std::vector<std::size_t> order(inc.lineCount());
+        std::iota(order.begin(), order.end(), 0);
+        // Fisher-Yates with the test's own Rng keeps runs seeded.
+        for (std::size_t i = order.size(); i > 1; --i)
+            std::swap(order[i - 1], order[rng.below(i)]);
+
+        std::vector<std::uint8_t> cipher(len, 0);
+        for (std::size_t line : order) {
+            const std::size_t off = line * sd::kCacheLineSize;
+            inc.processLine(line, msg.plain.data() + off,
+                            cipher.data() + off);
+        }
+        ASSERT_TRUE(inc.complete());
+        EXPECT_EQ(cipher, expected);
+        EXPECT_EQ(inc.finalTag(), want);
+    }
+}
+
+TEST(GcmProperties, EncryptDecryptRoundTripsAtRandomSizes)
+{
+    Rng rng(202);
+    for (int round = 0; round < 30; ++round) {
+        const std::size_t len = 1 + rng.below(4096);
+        Message msg(len, rng);
+        SCOPED_TRACE("round " + std::to_string(round) + " len " +
+                     std::to_string(len));
+
+        std::vector<std::uint8_t> cipher;
+        const GcmTag tag = msg.oneShot(cipher);
+
+        std::vector<std::uint8_t> decrypted(len, 0);
+        EXPECT_TRUE(msg.ctx.decrypt(msg.iv, cipher.data(), len, tag,
+                                    decrypted.data()));
+        EXPECT_EQ(decrypted, msg.plain);
+    }
+}
+
+TEST(GcmProperties, AnySingleBitFlipBreaksTheTag)
+{
+    Rng rng(303);
+    const std::size_t len = 200;
+    Message msg(len, rng);
+
+    std::vector<std::uint8_t> cipher;
+    const GcmTag tag = msg.oneShot(cipher);
+    std::vector<std::uint8_t> scratch(len, 0);
+
+    // Flip a random bit of every ciphertext byte.
+    for (std::size_t i = 0; i < len; ++i) {
+        auto bad = cipher;
+        bad[i] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+        EXPECT_FALSE(msg.ctx.decrypt(msg.iv, bad.data(), len, tag,
+                                     scratch.data()))
+            << "corrupt ciphertext byte " << i << " verified";
+    }
+
+    // Flip every bit of the tag.
+    for (std::size_t i = 0; i < tag.size() * 8; ++i) {
+        GcmTag bad = tag;
+        bad[i / 8] ^= static_cast<std::uint8_t>(1u << (i % 8));
+        EXPECT_FALSE(msg.ctx.decrypt(msg.iv, cipher.data(), len, bad,
+                                     scratch.data()))
+            << "corrupt tag bit " << i << " verified";
+    }
+
+    // Flip a bit of the IV.
+    GcmIv bad_iv = msg.iv;
+    bad_iv[rng.below(bad_iv.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.below(8));
+    EXPECT_FALSE(msg.ctx.decrypt(bad_iv, cipher.data(), len, tag,
+                                 scratch.data()));
+}
+
+TEST(GcmProperties, AadIsAuthenticated)
+{
+    Rng rng(404);
+    const std::size_t len = 333;
+    Message msg(len, rng);
+    std::vector<std::uint8_t> aad(48);
+    rng.fill(aad.data(), aad.size());
+
+    std::vector<std::uint8_t> cipher(len, 0);
+    const GcmTag tag =
+        msg.ctx.encrypt(msg.iv, msg.plain.data(), len, cipher.data(),
+                        aad.data(), aad.size());
+
+    std::vector<std::uint8_t> scratch(len, 0);
+    EXPECT_TRUE(msg.ctx.decrypt(msg.iv, cipher.data(), len, tag,
+                                scratch.data(), aad.data(), aad.size()));
+    EXPECT_EQ(scratch, msg.plain);
+
+    auto bad = aad;
+    bad[rng.below(bad.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.below(8));
+    EXPECT_FALSE(msg.ctx.decrypt(msg.iv, cipher.data(), len, tag,
+                                 scratch.data(), bad.data(), bad.size()));
+    // Dropping the AAD entirely must also fail.
+    EXPECT_FALSE(msg.ctx.decrypt(msg.iv, cipher.data(), len, tag,
+                                 scratch.data()));
+}
+
+TEST(GcmProperties, DistinctIvsGiveDistinctStreams)
+{
+    Rng rng(505);
+    Message msg(512, rng);
+    std::vector<std::uint8_t> c1;
+    msg.oneShot(c1);
+
+    GcmIv other = msg.iv;
+    other[0] ^= 1;
+    std::vector<std::uint8_t> c2(msg.plain.size(), 0);
+    msg.ctx.encrypt(other, msg.plain.data(), msg.plain.size(),
+                    c2.data());
+    EXPECT_NE(c1, c2);
+}
+
+} // namespace
