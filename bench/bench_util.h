@@ -8,6 +8,7 @@
 #ifndef SD_BENCH_BENCH_UTIL_H
 #define SD_BENCH_BENCH_UTIL_H
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -17,6 +18,7 @@
 #include "cache/memory_system.h"
 #include "compcpy/compcpy.h"
 #include "compcpy/driver.h"
+#include "kernels/dispatch.h"
 #include "sim/event_queue.h"
 #include "smartdimm/buffer_device.h"
 #include "trace/trace.h"
@@ -128,6 +130,84 @@ writeSpansJson(const std::string &name,
     if (tr.writeJsonFile(path, registry))
         std::printf("wrote %s (%zu spans, %zu events)\n", path.c_str(),
                     tr.spans().size(), tr.events().size());
+}
+
+/** One self-timed kernel measurement for the BENCH_*.json artefacts. */
+struct KernelBenchRow
+{
+    std::string name;     ///< operation, e.g. "gcm_encrypt_4k"
+    std::size_t op_bytes; ///< payload bytes per op
+    double ns_per_op = 0; ///< wall-clock ns per op
+    double ns_per_block = 0; ///< ns per 16 B AES block (or per op unit)
+    double bytes_per_sec = 0;
+};
+
+/**
+ * Time @p op (a void() callable processing @p op_bytes per call) by
+ * wall clock: warm up, then run until ~50 ms has elapsed. Returns a
+ * filled row. Deliberately simple — these numbers feed the BENCH_*.json
+ * artefacts for tier comparisons, not the paper's simulated results.
+ */
+template <typename Fn>
+KernelBenchRow
+timeKernelOp(const std::string &name, std::size_t op_bytes,
+             std::size_t block_bytes, Fn &&op)
+{
+    using Clock = std::chrono::steady_clock;
+    for (int i = 0; i < 3; ++i)
+        op();
+    std::size_t iters = 0;
+    const auto start = Clock::now();
+    auto now = start;
+    do {
+        op();
+        ++iters;
+        if ((iters & 0xf) == 0 || iters < 16)
+            now = Clock::now();
+    } while (now - start < std::chrono::milliseconds(50));
+    const double total_ns =
+        std::chrono::duration<double, std::nano>(Clock::now() - start)
+            .count();
+    KernelBenchRow row;
+    row.name = name;
+    row.op_bytes = op_bytes;
+    row.ns_per_op = total_ns / static_cast<double>(iters);
+    const double blocks_per_op =
+        static_cast<double>(op_bytes) / static_cast<double>(block_bytes);
+    row.ns_per_block =
+        blocks_per_op > 0 ? row.ns_per_op / blocks_per_op : row.ns_per_op;
+    row.bytes_per_sec = static_cast<double>(op_bytes) * 1e9 / row.ns_per_op;
+    return row;
+}
+
+/**
+ * Write the kernel measurement rows as @p path (BENCH_crypto.json /
+ * BENCH_deflate.json), tagged with the active kernel tier so CI can
+ * archive one artefact per forced tier.
+ */
+inline void
+writeKernelBenchJson(const std::string &path,
+                     const std::vector<KernelBenchRow> &rows)
+{
+    std::ofstream os(path);
+    if (!os) {
+        std::printf("could not write %s\n", path.c_str());
+        return;
+    }
+    os << "{\n  \"kernel\": \""
+       << kernels::tierName(kernels::activeTier()) << "\",\n"
+       << "  \"results\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto &r = rows[i];
+        os << "    {\"name\": \"" << r.name << "\", \"op_bytes\": "
+           << r.op_bytes << ", \"ns_per_op\": " << r.ns_per_op
+           << ", \"ns_per_block\": " << r.ns_per_block
+           << ", \"bytes_per_sec\": " << r.bytes_per_sec << "}"
+           << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    std::printf("wrote %s (kernel tier '%s')\n", path.c_str(),
+                kernels::tierName(kernels::activeTier()));
 }
 
 } // namespace sd::bench

@@ -133,4 +133,43 @@ BENCHMARK(BM_DeviceCompCpy4K);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    // Machine-readable artefact for the active kernel tier, next to
+    // the google-benchmark table (satellite of the kernel layer).
+    Rng rng(6);
+    std::uint8_t key[16];
+    rng.fill(key, 16);
+    Aes aes(key, Aes::KeySize::k128);
+    GcmContext ctx(key, Aes::KeySize::k128);
+    std::vector<std::uint8_t> plain(4096);
+    rng.fill(plain.data(), plain.size());
+    std::vector<std::uint8_t> cipher(plain.size());
+    GcmIv iv{};
+
+    std::vector<bench::KernelBenchRow> rows;
+    std::uint8_t block[16] = {};
+    rows.push_back(bench::timeKernelOp(
+        "aes_block", 16, 16, [&] { aes.encryptBlock(block, block); }));
+    rows.push_back(bench::timeKernelOp("gcm_encrypt_4k", 4096, 16, [&] {
+        benchmark::DoNotOptimize(
+            ctx.encrypt(iv, plain.data(), plain.size(), cipher.data()));
+    }));
+    rows.push_back(
+        bench::timeKernelOp("incremental_gcm_4k", 4096, 16, [&] {
+            IncrementalGcm inc(ctx, iv, plain.size());
+            for (std::size_t line = 0; line < inc.lineCount(); ++line)
+                inc.processLine(line, plain.data() + line * 64,
+                                cipher.data() + line * 64);
+            benchmark::DoNotOptimize(inc.finalTag());
+        }));
+    bench::writeKernelBenchJson("BENCH_crypto.json", rows);
+    return 0;
+}

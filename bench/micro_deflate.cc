@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Deflate-path microbenchmarks (google-benchmark): the software LZ77
+ * hash-chain matcher (greedy and lazy), full Deflate compression and
+ * the hardware deflate pipeline model. Emits BENCH_deflate.json with
+ * the active kernel tier so CI can archive per-tier numbers alongside
+ * BENCH_crypto.json. These are simulator-implementation numbers; the
+ * placement cost model carries the calibrated hardware rates.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "compress/deflate.h"
+#include "compress/hw_deflate.h"
+#include "compress/lz77.h"
+
+using namespace sd;
+using namespace sd::compress;
+
+namespace {
+
+/**
+ * Compressible-but-not-trivial payload: zipf-ish repeated phrases over
+ * random filler, the same flavour the figure benches use.
+ */
+std::vector<std::uint8_t>
+makePayload(std::size_t len, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint8_t> data(len);
+    rng.fill(data.data(), data.size());
+    static const char phrase[] = "GET /index.html HTTP/1.1\r\nHost: ";
+    for (std::size_t off = 0; off + sizeof(phrase) < len;
+         off += 97 + rng.below(160))
+        std::memcpy(data.data() + off, phrase, sizeof(phrase) - 1);
+    return data;
+}
+
+void
+BM_Lz77Greedy4K(benchmark::State &state)
+{
+    const auto data = makePayload(4096, 11);
+    Lz77Config cfg;
+    cfg.lazy = false;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            lz77Compress(data.data(), data.size(), cfg));
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_Lz77Greedy4K);
+
+void
+BM_Lz77Lazy4K(benchmark::State &state)
+{
+    const auto data = makePayload(4096, 11);
+    Lz77Config cfg;
+    cfg.lazy = true;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            lz77Compress(data.data(), data.size(), cfg));
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_Lz77Lazy4K);
+
+void
+BM_Deflate4K(benchmark::State &state)
+{
+    const auto data = makePayload(4096, 12);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(deflateCompress(
+            data.data(), data.size(), DeflateStrategy::kFixed));
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_Deflate4K);
+
+void
+BM_HwDeflate4K(benchmark::State &state)
+{
+    const auto data = makePayload(4096, 13);
+    HwDeflateConfig cfg;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            hwDeflateCompress(data.data(), data.size(), cfg));
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_HwDeflate4K);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    const auto data = makePayload(4096, 11);
+    Lz77Config lazy_cfg;
+    lazy_cfg.lazy = true;
+    HwDeflateConfig hw_cfg;
+
+    std::vector<bench::KernelBenchRow> rows;
+    rows.push_back(bench::timeKernelOp("lz77_lazy_4k", 4096, 4096, [&] {
+        benchmark::DoNotOptimize(
+            lz77Compress(data.data(), data.size(), lazy_cfg));
+    }));
+    rows.push_back(bench::timeKernelOp("deflate_4k", 4096, 4096, [&] {
+        benchmark::DoNotOptimize(deflateCompress(
+            data.data(), data.size(), DeflateStrategy::kFixed));
+    }));
+    rows.push_back(bench::timeKernelOp("hw_deflate_4k", 4096, 4096, [&] {
+        benchmark::DoNotOptimize(
+            hwDeflateCompress(data.data(), data.size(), hw_cfg));
+    }));
+    bench::writeKernelBenchJson("BENCH_deflate.json", rows);
+    return 0;
+}

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
-#include <set>
 
 #include "common/log.h"
 #include "compress/deflate.h"
+#include "kernels/match.h"
 
 namespace sd::compress {
 
@@ -48,6 +48,13 @@ hwDeflateTokens(const std::uint8_t *data, std::size_t len,
     std::vector<Slot> table(config.banks * config.entries_per_bank);
     std::uint64_t age = 0;
 
+    // Per-step bank arbitration, epoch-stamped: a bank is busy this
+    // step iff its stamp equals the current epoch. O(1) per probe with
+    // no per-step clearing or allocation.
+    std::vector<std::uint64_t> bank_epoch(config.banks, 0);
+    std::uint64_t epoch = 0;
+    std::vector<std::int64_t> lane_candidate(config.parallel_window);
+
     std::size_t pos = 0;
     while (pos < len) {
         ++local.steps;
@@ -57,8 +64,10 @@ hwDeflateTokens(const std::uint8_t *data, std::size_t len,
         // Phase 1: all lanes probe the hash table concurrently; each
         // bank serves one probe per cycle — further probes to the same
         // bank are dropped in best-effort mode.
-        std::set<std::size_t> busy_banks;
-        std::vector<std::int64_t> lane_candidate(lanes, -1);
+        ++epoch;
+        std::fill(lane_candidate.begin(),
+                  lane_candidate.begin() + static_cast<std::ptrdiff_t>(lanes),
+                  std::int64_t{-1});
         for (std::size_t lane = 0; lane < lanes; ++lane) {
             const std::size_t p = pos + lane;
             if (p + 4 > len)
@@ -69,11 +78,11 @@ hwDeflateTokens(const std::uint8_t *data, std::size_t len,
                 (h / config.banks) % config.entries_per_bank;
             ++local.candidates;
 
-            if (config.drop_on_conflict && busy_banks.count(bank)) {
+            if (config.drop_on_conflict && bank_epoch[bank] == epoch) {
                 ++local.bank_conflicts;
                 continue; // candidate discarded, no insert either
             }
-            busy_banks.insert(bank);
+            bank_epoch[bank] = epoch;
 
             Slot &slot = table[bank * config.entries_per_bank + set];
             if (slot.valid &&
@@ -104,9 +113,8 @@ hwDeflateTokens(const std::uint8_t *data, std::size_t len,
                 // Comparing input against input handles overlapping
                 // (distance < length) matches correctly by induction,
                 // the same shift-register trick the pipeline uses.
-                std::size_t ml = 0;
-                while (ml < limit && data[cpos + ml] == data[p + ml])
-                    ++ml;
+                const std::size_t ml =
+                    kernels::matchLen(data + cpos, data + p, limit);
                 if (ml >= kMinMatch) {
                     match_len = ml;
                     dist = p - cpos;

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/log.h"
+#include "kernels/match.h"
 
 namespace sd::compress {
 
@@ -69,10 +70,8 @@ struct Matcher
             // Quick reject on the byte past the current best.
             if (best_len == 0 ||
                 data[cpos + best_len] == data[pos + best_len]) {
-                std::size_t match_len = 0;
-                while (match_len < limit &&
-                       data[cpos + match_len] == data[pos + match_len])
-                    ++match_len;
+                const std::size_t match_len =
+                    kernels::matchLen(data + cpos, data + pos, limit);
                 if (match_len > best_len) {
                     best_len = match_len;
                     best_dist = pos - cpos;
@@ -103,9 +102,23 @@ lz77Compress(const std::uint8_t *data, std::size_t len,
     Matcher matcher(data, len, config);
 
     std::size_t pos = 0;
+    // Lazy-match lookahead cache: when a match is deferred, the search
+    // already ran at pos + 1 — and no table insert happens before the
+    // next iteration reaches that position — so its result is reused
+    // instead of re-walking the chain.
+    bool have_cached = false;
+    std::size_t cached_len = 0;
+    std::size_t cached_dist = 0;
     while (pos < len) {
         std::size_t dist = 0;
-        std::size_t match_len = matcher.bestMatch(pos, dist);
+        std::size_t match_len = 0;
+        if (have_cached) {
+            match_len = cached_len;
+            dist = cached_dist;
+            have_cached = false;
+        } else {
+            match_len = matcher.bestMatch(pos, dist);
+        }
 
         // Lazy matching: if the next position has a strictly longer
         // match, emit a literal and defer.
@@ -118,6 +131,9 @@ lz77Compress(const std::uint8_t *data, std::size_t len,
                 tokens.push_back(Lz77Token::lit(data[pos]));
                 ++local.literals;
                 ++pos;
+                have_cached = true;
+                cached_len = next_len;
+                cached_dist = next_dist;
                 continue;
             }
             // Fall through: take the current match; pos already

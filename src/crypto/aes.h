@@ -5,9 +5,11 @@
  * for the SmartDIMM TLS DSA; correctness is checked against FIPS-197
  * and NIST SP 800-38D test vectors in the test suite.
  *
- * Plain table-free byte implementation: speed is not the point here —
- * the performance of each placement comes from calibrated cost models,
- * while this code guarantees the *data* is transformed exactly.
+ * The data transformation is delegated to the dispatched kernel layer
+ * (src/kernels): a byte-wise scalar reference, a T-table tier and an
+ * AES-NI tier all produce identical bytes — speed of each *placement*
+ * still comes from calibrated cost models, the kernels only cut the
+ * repo's own wall-clock time.
  */
 
 #ifndef SD_CRYPTO_AES_H
@@ -16,6 +18,8 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+
+#include "kernels/aes_kernel.h"
 
 namespace sd::crypto {
 
@@ -49,12 +53,13 @@ class Aes
     void encryptBlock(const std::uint8_t in[16], std::uint8_t out[16]) const;
 
     /** Number of rounds (10 for AES-128, 14 for AES-256). */
-    int rounds() const { return rounds_; }
+    int rounds() const { return key_.rounds; }
+
+    /** Dispatched kernel key, for batched entry points (CTR). */
+    const kernels::AesKey &kernelKey() const { return key_; }
 
   private:
-    int rounds_;
-    // Round keys: (rounds + 1) * 16 bytes, max 15 * 16 = 240.
-    std::array<std::uint8_t, 240> roundKeys_{};
+    kernels::AesKey key_;
 };
 
 } // namespace sd::crypto

@@ -4,10 +4,18 @@
 
 #include "common/log.h"
 #include "common/types.h"
+#include "kernels/aes_kernel.h"
 
 namespace sd::crypto {
 
 namespace {
+
+/**
+ * CTR keystream blocks generated per kernel call. Eight blocks keep
+ * the AES-NI pipeline full and amortise counter/table setup on the
+ * table tier; the tail call just shrinks.
+ */
+constexpr std::size_t kCtrBatchBlocks = 8;
 
 /** Build J0 = IV || 0^31 || 1 for a 96-bit IV. */
 void
@@ -18,17 +26,6 @@ buildJ0(const GcmIv &iv, std::uint8_t j0[16])
     j0[13] = 0;
     j0[14] = 0;
     j0[15] = 1;
-}
-
-/** J0 with its 32-bit counter replaced by @p ctr (big-endian). */
-void
-buildCounterBlock(const GcmIv &iv, std::uint32_t ctr, std::uint8_t out[16])
-{
-    std::memcpy(out, iv.data(), 12);
-    out[12] = static_cast<std::uint8_t>(ctr >> 24);
-    out[13] = static_cast<std::uint8_t>(ctr >> 16);
-    out[14] = static_cast<std::uint8_t>(ctr >> 8);
-    out[15] = static_cast<std::uint8_t>(ctr);
 }
 
 /** GHASH length block: 64-bit AAD bits || 64-bit ciphertext bits. */
@@ -42,6 +39,33 @@ buildLengthBlock(std::size_t aad_len, std::size_t cipher_len,
         out[i] = static_cast<std::uint8_t>(aad_bits >> (56 - 8 * i));
     for (int i = 0; i < 8; ++i)
         out[8 + i] = static_cast<std::uint8_t>(c_bits >> (56 - 8 * i));
+}
+
+/**
+ * CTR-transform @p len bytes (XOR with the keystream starting at
+ * block counter 2, the GCM convention for a 96-bit IV), batching
+ * keystream generation through the dispatched kernel.
+ */
+void
+ctrTransform(const kernels::AesKey &key, const GcmIv &iv,
+             const std::uint8_t *in, std::size_t len, std::uint8_t *out)
+{
+    std::uint8_t ks[kCtrBatchBlocks * kAesBlockSize];
+    std::size_t off = 0;
+    while (off < len) {
+        const std::size_t blocks_left =
+            divCeil(len - off, kAesBlockSize);
+        const std::size_t nblk =
+            std::min(kCtrBatchBlocks, blocks_left);
+        const std::uint32_t first_ctr =
+            2 + static_cast<std::uint32_t>(off / kAesBlockSize);
+        kernels::aesCtrKeystream(key, iv.data(), first_ctr, nblk, ks);
+        const std::size_t chunk =
+            std::min(len - off, nblk * kAesBlockSize);
+        for (std::size_t i = 0; i < chunk; ++i)
+            out[off + i] = in[off + i] ^ ks[i];
+        off += chunk;
+    }
 }
 
 } // namespace
@@ -69,9 +93,7 @@ void
 GcmContext::keystreamBlock(const GcmIv &iv, std::uint32_t ctr,
                            std::uint8_t out[16]) const
 {
-    std::uint8_t block[16];
-    buildCounterBlock(iv, ctr, block);
-    aes_.encryptBlock(block, out);
+    kernels::aesCtrKeystream(aes_.kernelKey(), iv.data(), ctr, 1, out);
 }
 
 GcmTag
@@ -89,18 +111,16 @@ GcmContext::encrypt(const GcmIv &iv, const std::uint8_t *plain,
         ghash.update(block);
     }
 
-    // CTR encryption, counters starting at 2 (J0 uses 1).
-    for (std::size_t off = 0; off < len; off += kAesBlockSize) {
-        const std::uint32_t ctr =
-            2 + static_cast<std::uint32_t>(off / kAesBlockSize);
-        std::uint8_t ks[16];
-        keystreamBlock(iv, ctr, ks);
-        const std::size_t n = std::min(kAesBlockSize, len - off);
-        for (std::size_t i = 0; i < n; ++i)
-            cipher[off + i] = plain[off + i] ^ ks[i];
-
+    // CTR encryption (batched keystream), then the ciphertext fold.
+    // Full blocks fold in place; only the final partial block needs
+    // the zero-padded copy.
+    ctrTransform(aes_.kernelKey(), iv, plain, len, cipher);
+    const std::size_t full = len / kAesBlockSize;
+    ghash.updateBlocks(cipher, full);
+    const std::size_t off = full * kAesBlockSize;
+    if (off < len) {
         std::uint8_t cblock[16] = {};
-        std::memcpy(cblock, cipher + off, n);
+        std::memcpy(cblock, cipher + off, len - off);
         ghash.update(cblock);
     }
 
@@ -127,10 +147,12 @@ GcmContext::decrypt(const GcmIv &iv, const std::uint8_t *cipher,
         std::memcpy(block, aad + off, n);
         ghash.update(block);
     }
-    for (std::size_t off = 0; off < len; off += kAesBlockSize) {
-        const std::size_t n = std::min(kAesBlockSize, len - off);
+    const std::size_t full = len / kAesBlockSize;
+    ghash.updateBlocks(cipher, full);
+    const std::size_t off = full * kAesBlockSize;
+    if (off < len) {
         std::uint8_t cblock[16] = {};
-        std::memcpy(cblock, cipher + off, n);
+        std::memcpy(cblock, cipher + off, len - off);
         ghash.update(cblock);
     }
     std::uint8_t lenblock[16];
@@ -149,15 +171,7 @@ GcmContext::decrypt(const GcmIv &iv, const std::uint8_t *cipher,
     if (diff != 0)
         return false;
 
-    for (std::size_t off = 0; off < len; off += kAesBlockSize) {
-        const std::uint32_t ctr =
-            2 + static_cast<std::uint32_t>(off / kAesBlockSize);
-        std::uint8_t ks[16];
-        keystreamBlock(iv, ctr, ks);
-        const std::size_t n = std::min(kAesBlockSize, len - off);
-        for (std::size_t i = 0; i < n; ++i)
-            plain[off + i] = cipher[off + i] ^ ks[i];
-    }
+    ctrTransform(aes_.kernelKey(), iv, cipher, len, plain);
     return true;
 }
 
@@ -191,19 +205,23 @@ IncrementalGcm::processLine(std::size_t line_index, const std::uint8_t *in,
         divCeil(message_len_, kAesBlockSize) + 1; // + length block
 
     // Each 64 B line spans up to 4 AES blocks at known positions —
-    // this is the stride-4 independence the paper exploits.
-    for (std::size_t b = 0; b * kAesBlockSize < line_len; ++b) {
-        const std::size_t block_index =
-            line_off / kAesBlockSize + b;
+    // this is the stride-4 independence the paper exploits. The
+    // line's keystream is generated in one batched kernel call.
+    const std::size_t first_block = line_off / kAesBlockSize;
+    const std::size_t line_blocks = divCeil(line_len, kAesBlockSize);
+    std::uint8_t ks[kCacheLineSize];
+    kernels::aesCtrKeystream(
+        ctx_.cipher().kernelKey(), iv_.data(),
+        2 + static_cast<std::uint32_t>(first_block), line_blocks, ks);
+
+    for (std::size_t b = 0; b < line_blocks; ++b) {
+        const std::size_t block_index = first_block + b;
         const std::size_t block_off = b * kAesBlockSize;
         const std::size_t n =
             std::min(kAesBlockSize, line_len - block_off);
 
-        std::uint8_t ks[16];
-        ctx_.keystreamBlock(iv_, 2 + static_cast<std::uint32_t>(block_index),
-                            ks);
         for (std::size_t i = 0; i < n; ++i)
-            out[block_off + i] = in[block_off + i] ^ ks[i];
+            out[block_off + i] = in[block_off + i] ^ ks[block_off + i];
 
         std::uint8_t cblock[16] = {};
         std::memcpy(cblock, out + block_off, n);

@@ -4,58 +4,48 @@
 
 namespace sd::crypto {
 
-Gf128
-Gf128::load(const std::uint8_t bytes[16])
+namespace {
+
+inline kernels::Block128
+toBlock(const Gf128 &v)
 {
-    Gf128 out;
-    for (int i = 0; i < 8; ++i)
-        out.hi = (out.hi << 8) | bytes[i];
-    for (int i = 8; i < 16; ++i)
-        out.lo = (out.lo << 8) | bytes[i];
-    return out;
+    return kernels::Block128{v.hi, v.lo};
 }
 
-void
-Gf128::store(std::uint8_t bytes[16]) const
+inline Gf128
+fromBlock(const kernels::Block128 &v)
 {
-    for (int i = 0; i < 8; ++i)
-        bytes[i] = static_cast<std::uint8_t>(hi >> (56 - 8 * i));
-    for (int i = 0; i < 8; ++i)
-        bytes[8 + i] = static_cast<std::uint8_t>(lo >> (56 - 8 * i));
+    return Gf128{v.hi, v.lo};
 }
+
+} // namespace
 
 Gf128
 gfMul(const Gf128 &a, const Gf128 &b)
 {
-    // Right-shift multiplication per SP 800-38D: bit 0 of the GCM
-    // representation is the most significant byte's MSB.
-    Gf128 z{};
-    Gf128 v = b;
-    for (int i = 0; i < 128; ++i) {
-        const std::uint64_t word = i < 64 ? a.hi : a.lo;
-        const int bit = 63 - (i & 63);
-        if ((word >> bit) & 1) {
-            z.hi ^= v.hi;
-            z.lo ^= v.lo;
-        }
-        const bool lsb = v.lo & 1;
-        v.lo = (v.lo >> 1) | (v.hi << 63);
-        v.hi >>= 1;
-        if (lsb)
-            v.hi ^= 0xe100000000000000ULL; // R = 11100001 || 0^120
-    }
-    return z;
+    return fromBlock(kernels::gfMulScalar(toBlock(a), toBlock(b)));
 }
 
-Ghash::Ghash(const Gf128 &h) : h_(h)
+Ghash::Ghash(const Gf128 &h) : key_(kernels::ghashKeyInit(toBlock(h)))
 {
+    // One reservation up front (sized for the largest TLS record)
+    // instead of growing the vector lazily mid-record.
+    powers_.reserve(kGhashMaxRecordPowers);
     powers_.push_back(h);
 }
 
 void
 Ghash::update(const std::uint8_t block[16])
 {
-    y_ = gfMul(y_ ^ Gf128::load(block), h_);
+    y_ = fromBlock(
+        kernels::gfMulByH(key_, toBlock(y_ ^ Gf128::load(block))));
+}
+
+void
+Ghash::updateBlocks(const std::uint8_t *blocks, std::size_t nblocks)
+{
+    y_ = fromBlock(
+        kernels::ghashFold(key_, toBlock(y_), blocks, nblocks));
 }
 
 const Gf128 &
@@ -63,7 +53,8 @@ Ghash::power(std::size_t k)
 {
     SD_ASSERT(k >= 1, "H^0 is never used by GHASH");
     while (powers_.size() < k)
-        powers_.push_back(gfMul(powers_.back(), h_));
+        powers_.push_back(fromBlock(kernels::gfMulByH(
+            key_, toBlock(powers_.back()))));
     return powers_[k - 1];
 }
 
@@ -72,7 +63,9 @@ Ghash::positional(const std::uint8_t block[16], std::size_t index,
                   std::size_t total_blocks)
 {
     SD_ASSERT(index < total_blocks, "block index outside message");
-    return gfMul(Gf128::load(block), power(total_blocks - index));
+    return fromBlock(kernels::gfMulVia(
+        key_.tier, toBlock(Gf128::load(block)),
+        toBlock(power(total_blocks - index))));
 }
 
 } // namespace sd::crypto

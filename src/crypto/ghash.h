@@ -3,6 +3,12 @@
  * GHASH over GF(2^128) as specified in NIST SP 800-38D. Supports the
  * stride-4 precomputed powers of H the SmartDIMM TLS DSA uses to break
  * the serial dependency chain between 64-byte cachelines (Sec. V-A).
+ *
+ * Field multiplications route through the dispatched kernel layer
+ * (src/kernels): the streaming multiply-by-H uses the per-key Shoup
+ * 8-bit table (or PCLMULQDQ), general products (powers of H,
+ * positional folds) use the 4-bit table or PCLMULQDQ tier. The free
+ * function gfMul() remains the always-compiled bit-serial reference.
  */
 
 #ifndef SD_CRYPTO_GHASH_H
@@ -11,7 +17,10 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <vector>
+
+#include "kernels/ghash_kernel.h"
 
 namespace sd::crypto {
 
@@ -20,14 +29,39 @@ struct Gf128
 {
     std::uint64_t hi = 0; ///< bytes 0..7 (big-endian most significant)
     std::uint64_t lo = 0; ///< bytes 8..15
-
     bool operator==(const Gf128 &) const = default;
 
     /** Load from 16 big-endian bytes. */
-    static Gf128 load(const std::uint8_t bytes[16]);
+    static Gf128
+    load(const std::uint8_t bytes[16])
+    {
+        std::uint64_t hi;
+        std::uint64_t lo;
+        std::memcpy(&hi, bytes, 8);
+        std::memcpy(&lo, bytes + 8, 8);
+        return Gf128{beToHost(hi), beToHost(lo)};
+    }
 
     /** Store to 16 big-endian bytes. */
-    void store(std::uint8_t bytes[16]) const;
+    void
+    store(std::uint8_t bytes[16]) const
+    {
+        const std::uint64_t be_hi = beToHost(hi);
+        const std::uint64_t be_lo = beToHost(lo);
+        std::memcpy(bytes, &be_hi, 8);
+        std::memcpy(bytes + 8, &be_lo, 8);
+    }
+
+    /** Big-endian <-> host conversion (an involution). */
+    static std::uint64_t
+    beToHost(std::uint64_t v)
+    {
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+        return v;
+#else
+        return __builtin_bswap64(v);
+#endif
+    }
 
     /** XOR (addition in GF(2^128)). */
     Gf128
@@ -37,8 +71,20 @@ struct Gf128
     }
 };
 
-/** Carry-less multiply in GF(2^128) with the GCM polynomial. */
+/**
+ * Carry-less multiply in GF(2^128) with the GCM polynomial — the
+ * bit-serial scalar reference (the kernel tiers are tested against
+ * it; use Ghash for the fast paths).
+ */
 Gf128 gfMul(const Gf128 &a, const Gf128 &b);
+
+/**
+ * Upper bound on the powers of H one TLS record can need: a 16 KB
+ * maximum fragment is 1024 AES blocks plus the GHASH length block.
+ * Ghash reserves this many entries up front so the powers table never
+ * reallocates mid-record.
+ */
+inline constexpr std::size_t kGhashMaxRecordPowers = 16384 / 16 + 1;
 
 /**
  * Incremental GHASH accumulator.
@@ -59,6 +105,13 @@ class Ghash
     /** Streaming: fold one 16-byte block in sequence order. */
     void update(const std::uint8_t block[16]);
 
+    /**
+     * Streaming: fold @p nblocks contiguous full 16-byte blocks, same
+     * digest as nblocks update() calls but routed through the batched
+     * kernel (4-block aggregated reduction on the table tier).
+     */
+    void updateBlocks(const std::uint8_t *blocks, std::size_t nblocks);
+
     /** Streaming digest so far. */
     Gf128 digest() const { return y_; }
 
@@ -78,7 +131,7 @@ class Ghash
                      std::size_t total_blocks);
 
   private:
-    Gf128 h_;
+    kernels::GhashKey key_; ///< H + tier-specific precomputation
     Gf128 y_{};
     std::vector<Gf128> powers_; ///< powers_[k-1] = H^k
 };

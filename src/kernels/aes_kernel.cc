@@ -1,0 +1,433 @@
+#include "kernels/aes_kernel.h"
+
+#include <cstring>
+
+#include "common/log.h"
+
+namespace sd::kernels {
+
+namespace {
+
+/** FIPS-197 S-box. */
+constexpr std::uint8_t kSbox[256] = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5,
+    0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0,
+    0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc,
+    0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a,
+    0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0,
+    0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b,
+    0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85,
+    0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17,
+    0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88,
+    0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c,
+    0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9,
+    0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6,
+    0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e,
+    0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94,
+    0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68,
+    0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+};
+
+/** Round constants for key expansion. */
+constexpr std::uint8_t kRcon[15] = {
+    0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40,
+    0x80, 0x1b, 0x36, 0x6c, 0xd8, 0xab, 0x4d,
+};
+
+/** Multiply by x in GF(2^8) mod x^8+x^4+x^3+x+1. */
+inline std::uint8_t
+xtime(std::uint8_t a)
+{
+    return static_cast<std::uint8_t>((a << 1) ^ ((a >> 7) * 0x1b));
+}
+
+inline void
+subBytes(std::uint8_t s[16])
+{
+    for (int i = 0; i < 16; ++i)
+        s[i] = kSbox[s[i]];
+}
+
+inline void
+shiftRows(std::uint8_t s[16])
+{
+    // State is column-major: s[4*c + r].
+    std::uint8_t t[16];
+    for (int c = 0; c < 4; ++c)
+        for (int r = 0; r < 4; ++r)
+            t[4 * c + r] = s[4 * ((c + r) & 3) + r];
+    std::memcpy(s, t, 16);
+}
+
+inline void
+mixColumns(std::uint8_t s[16])
+{
+    for (int c = 0; c < 4; ++c) {
+        std::uint8_t *col = s + 4 * c;
+        const std::uint8_t a0 = col[0], a1 = col[1];
+        const std::uint8_t a2 = col[2], a3 = col[3];
+        const std::uint8_t x = a0 ^ a1 ^ a2 ^ a3;
+        col[0] = static_cast<std::uint8_t>(a0 ^ x ^ xtime(a0 ^ a1));
+        col[1] = static_cast<std::uint8_t>(a1 ^ x ^ xtime(a1 ^ a2));
+        col[2] = static_cast<std::uint8_t>(a2 ^ x ^ xtime(a2 ^ a3));
+        col[3] = static_cast<std::uint8_t>(a3 ^ x ^ xtime(a3 ^ a0));
+    }
+}
+
+inline void
+addRoundKey(std::uint8_t s[16], const std::uint8_t rk[16])
+{
+    for (int i = 0; i < 16; ++i)
+        s[i] ^= rk[i];
+}
+
+/**
+ * T-tables for the merged SubBytes+ShiftRows+MixColumns round, in
+ * little-endian column words (byte 0 of the word = state row 0).
+ * T[r][x] is the contribution of row-r input byte x to its output
+ * column; T[r] is T[0] rotated left by 8*r bits.
+ */
+struct AesTables
+{
+    std::uint32_t t[4][256];
+};
+
+const AesTables &
+aesTablesOnce()
+{
+    static const AesTables tables = [] {
+        AesTables tb;
+        for (unsigned x = 0; x < 256; ++x) {
+            const std::uint32_t s = kSbox[x];
+            const std::uint32_t s2 = xtime(static_cast<std::uint8_t>(s));
+            const std::uint32_t s3 = s2 ^ s;
+            const std::uint32_t w =
+                s2 | (s << 8) | (s << 16) | (s3 << 24);
+            tb.t[0][x] = w;
+            tb.t[1][x] = (w << 8) | (w >> 24);
+            tb.t[2][x] = (w << 16) | (w >> 16);
+            tb.t[3][x] = (w << 24) | (w >> 8);
+        }
+        return tb;
+    }();
+    return tables;
+}
+
+/** Little-endian 32-bit load (column word / round-key word). */
+inline std::uint32_t
+le32(const std::uint8_t *p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+inline void
+store32le(std::uint8_t *p, std::uint32_t v)
+{
+    p[0] = static_cast<std::uint8_t>(v);
+    p[1] = static_cast<std::uint8_t>(v >> 8);
+    p[2] = static_cast<std::uint8_t>(v >> 16);
+    p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+/** Build the GCM counter block iv || be32(ctr). */
+inline void
+buildCtrBlock(const std::uint8_t iv12[12], std::uint32_t ctr,
+              std::uint8_t out[16])
+{
+    std::memcpy(out, iv12, 12);
+    out[12] = static_cast<std::uint8_t>(ctr >> 24);
+    out[13] = static_cast<std::uint8_t>(ctr >> 16);
+    out[14] = static_cast<std::uint8_t>(ctr >> 8);
+    out[15] = static_cast<std::uint8_t>(ctr);
+}
+
+/**
+ * T-table CTR: encrypt @p N interleaved counter blocks sharing the IV
+ * words @p w0..w2; @p ctr_le[j] is the little-endian column word of
+ * counter j (bswap of the 32-bit big-endian counter). Interleaving two
+ * blocks doubles the independent load chains per round, hiding L1
+ * latency the single-block path serialises on.
+ */
+template <int N>
+inline void
+aesCtrTableN(const AesTables &tb, const AesKey &key, std::uint32_t w0,
+             std::uint32_t w1, std::uint32_t w2,
+             const std::uint32_t ctr_le[N], std::uint8_t *out)
+{
+    const std::uint8_t *rk = key.rk.data();
+    std::uint32_t s0[N];
+    std::uint32_t s1[N];
+    std::uint32_t s2[N];
+    std::uint32_t s3[N];
+    for (int j = 0; j < N; ++j) {
+        s0[j] = w0 ^ le32(rk + 0);
+        s1[j] = w1 ^ le32(rk + 4);
+        s2[j] = w2 ^ le32(rk + 8);
+        s3[j] = ctr_le[j] ^ le32(rk + 12);
+    }
+    for (int round = 1; round < key.rounds; ++round) {
+        rk += 16;
+        for (int j = 0; j < N; ++j) {
+            const std::uint32_t t0 = tb.t[0][s0[j] & 0xff] ^
+                                     tb.t[1][(s1[j] >> 8) & 0xff] ^
+                                     tb.t[2][(s2[j] >> 16) & 0xff] ^
+                                     tb.t[3][s3[j] >> 24] ^ le32(rk + 0);
+            const std::uint32_t t1 = tb.t[0][s1[j] & 0xff] ^
+                                     tb.t[1][(s2[j] >> 8) & 0xff] ^
+                                     tb.t[2][(s3[j] >> 16) & 0xff] ^
+                                     tb.t[3][s0[j] >> 24] ^ le32(rk + 4);
+            const std::uint32_t t2 = tb.t[0][s2[j] & 0xff] ^
+                                     tb.t[1][(s3[j] >> 8) & 0xff] ^
+                                     tb.t[2][(s0[j] >> 16) & 0xff] ^
+                                     tb.t[3][s1[j] >> 24] ^ le32(rk + 8);
+            const std::uint32_t t3 = tb.t[0][s3[j] & 0xff] ^
+                                     tb.t[1][(s0[j] >> 8) & 0xff] ^
+                                     tb.t[2][(s1[j] >> 16) & 0xff] ^
+                                     tb.t[3][s2[j] >> 24] ^ le32(rk + 12);
+            s0[j] = t0;
+            s1[j] = t1;
+            s2[j] = t2;
+            s3[j] = t3;
+        }
+    }
+    rk += 16;
+    for (int j = 0; j < N; ++j) {
+        const std::uint32_t o0 =
+            (static_cast<std::uint32_t>(kSbox[s0[j] & 0xff])) |
+            (static_cast<std::uint32_t>(kSbox[(s1[j] >> 8) & 0xff]) << 8) |
+            (static_cast<std::uint32_t>(kSbox[(s2[j] >> 16) & 0xff]) << 16) |
+            (static_cast<std::uint32_t>(kSbox[s3[j] >> 24]) << 24);
+        const std::uint32_t o1 =
+            (static_cast<std::uint32_t>(kSbox[s1[j] & 0xff])) |
+            (static_cast<std::uint32_t>(kSbox[(s2[j] >> 8) & 0xff]) << 8) |
+            (static_cast<std::uint32_t>(kSbox[(s3[j] >> 16) & 0xff]) << 16) |
+            (static_cast<std::uint32_t>(kSbox[s0[j] >> 24]) << 24);
+        const std::uint32_t o2 =
+            (static_cast<std::uint32_t>(kSbox[s2[j] & 0xff])) |
+            (static_cast<std::uint32_t>(kSbox[(s3[j] >> 8) & 0xff]) << 8) |
+            (static_cast<std::uint32_t>(kSbox[(s0[j] >> 16) & 0xff]) << 16) |
+            (static_cast<std::uint32_t>(kSbox[s1[j] >> 24]) << 24);
+        const std::uint32_t o3 =
+            (static_cast<std::uint32_t>(kSbox[s3[j] & 0xff])) |
+            (static_cast<std::uint32_t>(kSbox[(s0[j] >> 8) & 0xff]) << 8) |
+            (static_cast<std::uint32_t>(kSbox[(s1[j] >> 16) & 0xff]) << 16) |
+            (static_cast<std::uint32_t>(kSbox[s2[j] >> 24]) << 24);
+        store32le(out + 16 * j + 0, o0 ^ le32(rk + 0));
+        store32le(out + 16 * j + 4, o1 ^ le32(rk + 4));
+        store32le(out + 16 * j + 8, o2 ^ le32(rk + 8));
+        store32le(out + 16 * j + 12, o3 ^ le32(rk + 12));
+    }
+}
+
+} // namespace
+
+const std::uint8_t *
+aesSbox()
+{
+    return kSbox;
+}
+
+AesKey
+aesKeyInit(const std::uint8_t *key, std::size_t key_bytes)
+{
+    SD_ASSERT(key_bytes == 16 || key_bytes == 32,
+              "unsupported AES key size %zu", key_bytes);
+    AesKey out;
+    out.tier = activeTier();
+    const int nk = static_cast<int>(key_bytes / 4);
+    out.rounds = nk == 4 ? 10 : 14;
+    const int total_words = 4 * (out.rounds + 1);
+
+    std::uint8_t *w = out.rk.data();
+    std::memcpy(w, key, key_bytes);
+
+    for (int i = nk; i < total_words; ++i) {
+        std::uint8_t temp[4];
+        std::memcpy(temp, w + 4 * (i - 1), 4);
+        if (i % nk == 0) {
+            // RotWord + SubWord + Rcon.
+            const std::uint8_t t0 = temp[0];
+            temp[0] = static_cast<std::uint8_t>(kSbox[temp[1]] ^
+                                                kRcon[i / nk]);
+            temp[1] = kSbox[temp[2]];
+            temp[2] = kSbox[temp[3]];
+            temp[3] = kSbox[t0];
+        } else if (nk > 6 && i % nk == 4) {
+            for (auto &b : temp)
+                b = kSbox[b];
+        }
+        for (int b = 0; b < 4; ++b)
+            w[4 * i + b] =
+                static_cast<std::uint8_t>(w[4 * (i - nk) + b] ^ temp[b]);
+    }
+    return out;
+}
+
+void
+detail::aesEncryptScalar(const AesKey &key, const std::uint8_t in[16],
+                         std::uint8_t out[16])
+{
+    std::uint8_t s[16];
+    std::memcpy(s, in, 16);
+
+    addRoundKey(s, key.rk.data());
+    for (int round = 1; round < key.rounds; ++round) {
+        subBytes(s);
+        shiftRows(s);
+        mixColumns(s);
+        addRoundKey(s, key.rk.data() + 16 * round);
+    }
+    subBytes(s);
+    shiftRows(s);
+    addRoundKey(s, key.rk.data() + 16 * key.rounds);
+
+    std::memcpy(out, s, 16);
+}
+
+void
+detail::aesEncryptTable(const AesKey &key, const std::uint8_t in[16],
+                        std::uint8_t out[16])
+{
+    const AesTables &tb = aesTablesOnce();
+    const std::uint8_t *rk = key.rk.data();
+
+    std::uint32_t s0 = le32(in + 0) ^ le32(rk + 0);
+    std::uint32_t s1 = le32(in + 4) ^ le32(rk + 4);
+    std::uint32_t s2 = le32(in + 8) ^ le32(rk + 8);
+    std::uint32_t s3 = le32(in + 12) ^ le32(rk + 12);
+
+    for (int round = 1; round < key.rounds; ++round) {
+        rk += 16;
+        const std::uint32_t t0 = tb.t[0][s0 & 0xff] ^
+                                 tb.t[1][(s1 >> 8) & 0xff] ^
+                                 tb.t[2][(s2 >> 16) & 0xff] ^
+                                 tb.t[3][s3 >> 24] ^ le32(rk + 0);
+        const std::uint32_t t1 = tb.t[0][s1 & 0xff] ^
+                                 tb.t[1][(s2 >> 8) & 0xff] ^
+                                 tb.t[2][(s3 >> 16) & 0xff] ^
+                                 tb.t[3][s0 >> 24] ^ le32(rk + 4);
+        const std::uint32_t t2 = tb.t[0][s2 & 0xff] ^
+                                 tb.t[1][(s3 >> 8) & 0xff] ^
+                                 tb.t[2][(s0 >> 16) & 0xff] ^
+                                 tb.t[3][s1 >> 24] ^ le32(rk + 8);
+        const std::uint32_t t3 = tb.t[0][s3 & 0xff] ^
+                                 tb.t[1][(s0 >> 8) & 0xff] ^
+                                 tb.t[2][(s1 >> 16) & 0xff] ^
+                                 tb.t[3][s2 >> 24] ^ le32(rk + 12);
+        s0 = t0;
+        s1 = t1;
+        s2 = t2;
+        s3 = t3;
+    }
+
+    // Final round: SubBytes + ShiftRows, no MixColumns.
+    rk += 16;
+    const std::uint32_t o0 =
+        (static_cast<std::uint32_t>(kSbox[s0 & 0xff])) |
+        (static_cast<std::uint32_t>(kSbox[(s1 >> 8) & 0xff]) << 8) |
+        (static_cast<std::uint32_t>(kSbox[(s2 >> 16) & 0xff]) << 16) |
+        (static_cast<std::uint32_t>(kSbox[s3 >> 24]) << 24);
+    const std::uint32_t o1 =
+        (static_cast<std::uint32_t>(kSbox[s1 & 0xff])) |
+        (static_cast<std::uint32_t>(kSbox[(s2 >> 8) & 0xff]) << 8) |
+        (static_cast<std::uint32_t>(kSbox[(s3 >> 16) & 0xff]) << 16) |
+        (static_cast<std::uint32_t>(kSbox[s0 >> 24]) << 24);
+    const std::uint32_t o2 =
+        (static_cast<std::uint32_t>(kSbox[s2 & 0xff])) |
+        (static_cast<std::uint32_t>(kSbox[(s3 >> 8) & 0xff]) << 8) |
+        (static_cast<std::uint32_t>(kSbox[(s0 >> 16) & 0xff]) << 16) |
+        (static_cast<std::uint32_t>(kSbox[s1 >> 24]) << 24);
+    const std::uint32_t o3 =
+        (static_cast<std::uint32_t>(kSbox[s3 & 0xff])) |
+        (static_cast<std::uint32_t>(kSbox[(s0 >> 8) & 0xff]) << 8) |
+        (static_cast<std::uint32_t>(kSbox[(s1 >> 16) & 0xff]) << 16) |
+        (static_cast<std::uint32_t>(kSbox[s2 >> 24]) << 24);
+
+    store32le(out + 0, o0 ^ le32(rk + 0));
+    store32le(out + 4, o1 ^ le32(rk + 4));
+    store32le(out + 8, o2 ^ le32(rk + 8));
+    store32le(out + 12, o3 ^ le32(rk + 12));
+}
+
+void
+aesEncryptBlock(const AesKey &key, const std::uint8_t in[16],
+                std::uint8_t out[16])
+{
+    switch (key.tier) {
+    case KernelTier::kTable:
+        detail::aesEncryptTable(key, in, out);
+        return;
+    case KernelTier::kNative:
+        detail::aesEncryptNi(key, in, out);
+        return;
+    case KernelTier::kScalar:
+    default:
+        detail::aesEncryptScalar(key, in, out);
+        return;
+    }
+}
+
+void
+aesCtrKeystream(const AesKey &key, const std::uint8_t iv12[12],
+                std::uint32_t first_ctr, std::size_t nblocks,
+                std::uint8_t *out)
+{
+    if (key.tier == KernelTier::kNative) {
+        detail::aesCtrKeystreamNi(key, iv12, first_ctr, nblocks, out);
+        return;
+    }
+    if (key.tier == KernelTier::kTable) {
+        // Two interleaved T-table blocks per step. The counter's
+        // little-endian column word is a byte swap of the 32-bit
+        // big-endian counter, independent of host endianness (le32 /
+        // store32le are byte-wise).
+        const AesTables &tb = aesTablesOnce();
+        const std::uint32_t w0 = le32(iv12 + 0);
+        const std::uint32_t w1 = le32(iv12 + 4);
+        const std::uint32_t w2 = le32(iv12 + 8);
+        std::size_t i = 0;
+        for (; i + 2 <= nblocks; i += 2) {
+            const std::uint32_t ctr_le[2] = {
+                __builtin_bswap32(
+                    first_ctr + static_cast<std::uint32_t>(i)),
+                __builtin_bswap32(
+                    first_ctr + static_cast<std::uint32_t>(i + 1))};
+            aesCtrTableN<2>(tb, key, w0, w1, w2, ctr_le,
+                            out + i * kAesBlockBytes);
+        }
+        if (i < nblocks) {
+            const std::uint32_t ctr_le[1] = {__builtin_bswap32(
+                first_ctr + static_cast<std::uint32_t>(i))};
+            aesCtrTableN<1>(tb, key, w0, w1, w2, ctr_le,
+                            out + i * kAesBlockBytes);
+        }
+        return;
+    }
+    std::uint8_t block[16];
+    for (std::size_t i = 0; i < nblocks; ++i) {
+        buildCtrBlock(iv12,
+                      first_ctr + static_cast<std::uint32_t>(i), block);
+        detail::aesEncryptScalar(key, block, out + i * kAesBlockBytes);
+    }
+}
+
+} // namespace sd::kernels

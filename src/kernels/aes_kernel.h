@@ -1,0 +1,89 @@
+/**
+ * @file
+ * AES block-encryption kernels (FIPS-197 forward cipher only — GCM
+ * never decrypts blocks). Tiers:
+ *
+ *  - scalar: the original byte-wise S-box implementation (moved here
+ *    verbatim from crypto/aes.cc; the reference).
+ *  - table:  T-table AES — four 256-entry u32 tables combining
+ *    SubBytes/ShiftRows/MixColumns, generated once at startup from
+ *    the S-box.
+ *  - native: AES-NI with 8-block pipelining (see native_x86.cc).
+ *
+ * Key expansion is byte-wise scalar code shared by every tier (it
+ * runs once per key). The expanded key captures its tier at init so
+ * keys created under a forced tier stay self-consistent.
+ */
+
+#ifndef SD_KERNELS_AES_KERNEL_H
+#define SD_KERNELS_AES_KERNEL_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "kernels/dispatch.h"
+
+namespace sd::kernels {
+
+/** AES block size in bytes. */
+inline constexpr std::size_t kAesBlockBytes = 16;
+
+/** Expanded AES key bound to a kernel tier. */
+struct AesKey
+{
+    KernelTier tier = KernelTier::kScalar;
+    int rounds = 0; ///< 10 for AES-128, 14 for AES-256
+    /** Round keys, (rounds + 1) * 16 bytes, FIPS-197 layout. */
+    alignas(16) std::array<std::uint8_t, 240> rk{};
+};
+
+/**
+ * Expand @p key (@p key_bytes = 16 or 32) under the currently active
+ * (or forced) tier.
+ */
+AesKey aesKeyInit(const std::uint8_t *key, std::size_t key_bytes);
+
+/** Encrypt one 16-byte block (in == out allowed). */
+void aesEncryptBlock(const AesKey &key, const std::uint8_t in[16],
+                     std::uint8_t out[16]);
+
+/**
+ * Batched CTR keystream: fill @p out with @p nblocks 16-byte
+ * keystream blocks for counter blocks iv || be32(first_ctr + i),
+ * i = 0..nblocks-1 (the GCM J0 layout with a 96-bit IV). Kernels
+ * pipeline 4–8 blocks per inner step, so callers should hand over as
+ * many blocks as they have (a 64-byte cacheline = 4, a full software
+ * record = hundreds) instead of looping one block at a time.
+ */
+void aesCtrKeystream(const AesKey &key, const std::uint8_t iv12[12],
+                     std::uint32_t first_ctr, std::size_t nblocks,
+                     std::uint8_t *out);
+
+/** The FIPS-197 S-box (shared with table generation and tests). */
+const std::uint8_t *aesSbox();
+
+namespace detail {
+
+/** Reference byte-wise single-block encrypt (always compiled). */
+void aesEncryptScalar(const AesKey &key, const std::uint8_t in[16],
+                      std::uint8_t out[16]);
+
+/** T-table single-block encrypt. */
+void aesEncryptTable(const AesKey &key, const std::uint8_t in[16],
+                     std::uint8_t out[16]);
+
+/** AES-NI block encrypt; only call when nativeSupported(). */
+void aesEncryptNi(const AesKey &key, const std::uint8_t in[16],
+                  std::uint8_t out[16]);
+
+/** AES-NI batched CTR; only call when nativeSupported(). */
+void aesCtrKeystreamNi(const AesKey &key, const std::uint8_t iv12[12],
+                       std::uint32_t first_ctr, std::size_t nblocks,
+                       std::uint8_t *out);
+
+} // namespace detail
+
+} // namespace sd::kernels
+
+#endif // SD_KERNELS_AES_KERNEL_H

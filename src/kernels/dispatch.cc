@@ -1,0 +1,109 @@
+#include "kernels/dispatch.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace sd::kernels {
+
+namespace {
+
+/** -1 = no override; otherwise a KernelTier value. */
+std::atomic<int> g_forced{-1};
+
+/** Parse a SD_FORCE_KERNEL value; SD_FATAL on nonsense. */
+KernelTier
+parseTier(const char *value)
+{
+    if (std::strcmp(value, "scalar") == 0)
+        return KernelTier::kScalar;
+    if (std::strcmp(value, "table") == 0)
+        return KernelTier::kTable;
+    if (std::strcmp(value, "native") == 0)
+        return KernelTier::kNative;
+    SD_FATAL("SD_FORCE_KERNEL='%s' is not one of scalar|table|native",
+             value);
+}
+
+/**
+ * Startup selection: env override first, else the fastest tier this
+ * machine can run. Logged to stderr exactly once (stdout stays
+ * machine-parsable for the bench harnesses).
+ */
+KernelTier
+selectStartupTier()
+{
+    const char *env = std::getenv("SD_FORCE_KERNEL");
+    KernelTier tier;
+    bool forced = false;
+    if (env && *env) {
+        tier = parseTier(env);
+        forced = true;
+        if (tier == KernelTier::kNative && !nativeSupported())
+            SD_FATAL("SD_FORCE_KERNEL=native but this CPU/build has no "
+                     "AES-NI/PCLMULQDQ support");
+    } else {
+        tier = nativeSupported() ? KernelTier::kNative
+                                 : KernelTier::kTable;
+    }
+    std::fprintf(stderr,
+                 "sd.kernels: data-plane kernel tier '%s'%s\n",
+                 tierName(tier),
+                 forced ? " (pinned by SD_FORCE_KERNEL)" : "");
+    return tier;
+}
+
+} // namespace
+
+const char *
+tierName(KernelTier tier)
+{
+    switch (tier) {
+    case KernelTier::kScalar:
+        return "scalar";
+    case KernelTier::kTable:
+        return "table";
+    case KernelTier::kNative:
+        return "native";
+    }
+    return "unknown";
+}
+
+std::vector<KernelTier>
+availableTiers()
+{
+    std::vector<KernelTier> tiers{KernelTier::kScalar,
+                                  KernelTier::kTable};
+    if (nativeSupported())
+        tiers.push_back(KernelTier::kNative);
+    return tiers;
+}
+
+KernelTier
+activeTier()
+{
+    const int forced = g_forced.load(std::memory_order_relaxed);
+    if (forced >= 0)
+        return static_cast<KernelTier>(forced);
+    static const KernelTier startup = selectStartupTier();
+    return startup;
+}
+
+void
+forceTier(KernelTier tier)
+{
+    SD_ASSERT(tier != KernelTier::kNative || nativeSupported(),
+              "forcing the native kernel tier on unsupported hardware");
+    g_forced.store(static_cast<int>(tier), std::memory_order_relaxed);
+}
+
+void
+clearForcedTier()
+{
+    g_forced.store(-1, std::memory_order_relaxed);
+}
+
+} // namespace sd::kernels

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Runtime dispatch for the data-plane kernel layer. Three tiers of
+ * functional kernels exist behind one interface:
+ *
+ *  - kScalar: the original bit-serial / byte-wise reference code.
+ *    Always compiled, used as the differential oracle by the parity
+ *    test suite.
+ *  - kTable:  table-driven kernels (T-table AES-128/256, Shoup
+ *    4-bit/8-bit GHASH). Portable C++, no ISA requirements.
+ *  - kNative: ISA-accelerated kernels (AES-NI, PCLMULQDQ) compiled
+ *    with per-function target attributes and selected only when the
+ *    CPU reports support at runtime.
+ *
+ * The tier is chosen once at startup (first use) and logged to stderr.
+ * `SD_FORCE_KERNEL=scalar|table|native` pins the choice so CI and
+ * debugging can exercise every path deterministically.
+ *
+ * Invariant: kernels only change *wall-clock* speed. Every tier
+ * produces bit-identical ciphertext, tags and token streams, so
+ * simulated cycle counts, traces and bench CSV/JSON outputs are
+ * unaffected by the dispatch decision (the golden-trace test guards
+ * this).
+ */
+
+#ifndef SD_KERNELS_DISPATCH_H
+#define SD_KERNELS_DISPATCH_H
+
+#include <vector>
+
+namespace sd::kernels {
+
+/** Implementation tier of the data-plane kernels. */
+enum class KernelTier : int {
+    kScalar = 0, ///< reference bit-serial / byte-wise code
+    kTable = 1,  ///< T-table AES + Shoup table GHASH
+    kNative = 2, ///< AES-NI + PCLMULQDQ (x86 only, runtime-detected)
+};
+
+/** Human-readable tier name ("scalar" / "table" / "native"). */
+const char *tierName(KernelTier tier);
+
+/** @return true when the CPU + toolchain can run the native tier. */
+bool nativeSupported();
+
+/** Tiers that can run on this machine, in ascending speed order. */
+std::vector<KernelTier> availableTiers();
+
+/**
+ * The tier new kernel keys bind to. Resolution order: forceTier()
+ * override, then `SD_FORCE_KERNEL`, then the fastest available tier.
+ * The first call logs the selection to stderr (once per process).
+ */
+KernelTier activeTier();
+
+/**
+ * Pin the tier for subsequently created kernel keys (parity tests
+ * iterate tiers with this). Existing keys keep the tier they were
+ * created with, so objects stay internally consistent.
+ */
+void forceTier(KernelTier tier);
+
+/** Drop a forceTier() override, returning to the startup selection. */
+void clearForcedTier();
+
+} // namespace sd::kernels
+
+#endif // SD_KERNELS_DISPATCH_H

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fast common-prefix (match-length) primitive shared by the LZ77
+ * hash-chain matcher and the hardware deflate model's lane extension.
+ * Word-at-a-time compare with a byte tail — bit-identical to the
+ * byte loop it replaces, so token streams (and therefore compressed
+ * bytes, simulated cycles and golden traces) are unchanged.
+ */
+
+#ifndef SD_KERNELS_MATCH_H
+#define SD_KERNELS_MATCH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace sd::kernels {
+
+/**
+ * Length of the common prefix of @p a and @p b, capped at @p limit.
+ * Both pointers must have @p limit readable bytes.
+ */
+inline std::size_t
+matchLen(const std::uint8_t *a, const std::uint8_t *b, std::size_t limit)
+{
+    std::size_t n = 0;
+    while (n + 8 <= limit) {
+        std::uint64_t wa;
+        std::uint64_t wb;
+        std::memcpy(&wa, a + n, 8);
+        std::memcpy(&wb, b + n, 8);
+        const std::uint64_t diff = wa ^ wb;
+        if (diff != 0) {
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+            return n + static_cast<std::size_t>(
+                           __builtin_clzll(diff) >> 3);
+#else
+            return n + static_cast<std::size_t>(
+                           __builtin_ctzll(diff) >> 3);
+#endif
+        }
+        n += 8;
+    }
+    while (n < limit && a[n] == b[n])
+        ++n;
+    return n;
+}
+
+} // namespace sd::kernels
+
+#endif // SD_KERNELS_MATCH_H

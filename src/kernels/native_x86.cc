@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Native x86 kernels: AES-NI block encryption with 8-block CTR
+ * pipelining and PCLMULQDQ carry-less GF(2^128) multiplication.
+ *
+ * Compiled into every build via per-function target attributes (no
+ * -march flags needed); the dispatcher only routes here when
+ * __builtin_cpu_supports() reports AES/PCLMUL/SSSE3 at runtime. On
+ * non-x86 targets the functions compile to panic stubs — the
+ * dispatcher never selects the native tier there.
+ *
+ * The PCLMUL path works in the *standard* polynomial domain: GCM's
+ * reflected bit order is undone by reversing the bits within each
+ * byte (two PSHUFB nibble lookups), after which the product reduces
+ * modulo x^128 + x^7 + x^2 + x + 1 with the usual two-step fold.
+ * This costs a few shuffles per operand but keeps the reduction
+ * straightforward; parity with the bit-serial reference is enforced
+ * by the kernel parity suite.
+ */
+
+#include <cstring>
+
+#include "common/log.h"
+#include "kernels/aes_kernel.h"
+#include "kernels/ghash_kernel.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define SD_KERNELS_X86 1
+#include <immintrin.h>
+#endif
+
+namespace sd::kernels {
+
+#if SD_KERNELS_X86
+
+bool
+nativeSupported()
+{
+    static const bool ok = __builtin_cpu_supports("aes") &&
+                           __builtin_cpu_supports("pclmul") &&
+                           __builtin_cpu_supports("ssse3") &&
+                           __builtin_cpu_supports("sse2");
+    return ok;
+}
+
+namespace {
+
+#define SD_TARGET_AES __attribute__((target("aes,sse2")))
+#define SD_TARGET_CLMUL __attribute__((target("pclmul,ssse3,sse2")))
+
+/** Encrypt one loaded state with the whole round-key schedule. */
+SD_TARGET_AES inline __m128i
+aesniEncrypt1(__m128i state, const __m128i *rk, int rounds)
+{
+    state = _mm_xor_si128(state, rk[0]);
+    for (int r = 1; r < rounds; ++r)
+        state = _mm_aesenc_si128(state, rk[r]);
+    return _mm_aesenclast_si128(state, rk[rounds]);
+}
+
+/** Build the GCM counter block iv || be32(ctr). */
+inline void
+buildCtrBlock(const std::uint8_t iv12[12], std::uint32_t ctr,
+              std::uint8_t out[16])
+{
+    std::memcpy(out, iv12, 12);
+    out[12] = static_cast<std::uint8_t>(ctr >> 24);
+    out[13] = static_cast<std::uint8_t>(ctr >> 16);
+    out[14] = static_cast<std::uint8_t>(ctr >> 8);
+    out[15] = static_cast<std::uint8_t>(ctr);
+}
+
+/** Reverse the bit order within each byte of @p v. */
+SD_TARGET_CLMUL inline __m128i
+revBitsInBytes(__m128i v)
+{
+    const __m128i low_mask = _mm_set1_epi8(0x0f);
+    const __m128i nib_rev =
+        _mm_setr_epi8(0x0, 0x8, 0x4, 0xc, 0x2, 0xa, 0x6, 0xe,
+                      0x1, 0x9, 0x5, 0xd, 0x3, 0xb, 0x7, 0xf);
+    const __m128i lo = _mm_and_si128(v, low_mask);
+    const __m128i hi =
+        _mm_and_si128(_mm_srli_epi16(v, 4), low_mask);
+    // LUT values are <= 0x0f, so the 16-bit-lane shift cannot bleed
+    // set bits across byte boundaries.
+    return _mm_or_si128(
+        _mm_slli_epi16(_mm_shuffle_epi8(nib_rev, lo), 4),
+        _mm_shuffle_epi8(nib_rev, hi));
+}
+
+/** GCM field element -> standard-domain polynomial register. */
+SD_TARGET_CLMUL inline __m128i
+toPoly(const Block128 &v)
+{
+    // Byte 0 of the GCM encoding is the most significant byte of hi;
+    // loading it as the least significant register byte plus an
+    // in-byte bit reversal puts coefficient x^i at register bit i.
+    const __m128i raw = _mm_set_epi64x(
+        static_cast<long long>(__builtin_bswap64(v.lo)),
+        static_cast<long long>(__builtin_bswap64(v.hi)));
+    return revBitsInBytes(raw);
+}
+
+SD_TARGET_CLMUL inline Block128
+fromPoly(__m128i p)
+{
+    const __m128i raw = revBitsInBytes(p);
+    alignas(16) std::uint64_t w[2];
+    _mm_store_si128(reinterpret_cast<__m128i *>(w), raw);
+    return Block128{__builtin_bswap64(w[0]), __builtin_bswap64(w[1])};
+}
+
+} // namespace
+
+SD_TARGET_AES void
+detail::aesEncryptNi(const AesKey &key, const std::uint8_t in[16],
+                     std::uint8_t out[16])
+{
+    __m128i rk[15] = {};
+    for (int r = 0; r <= key.rounds; ++r)
+        rk[r] = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(key.rk.data() + 16 * r));
+    const __m128i state = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(in));
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(out),
+                     aesniEncrypt1(state, rk, key.rounds));
+}
+
+SD_TARGET_AES void
+detail::aesCtrKeystreamNi(const AesKey &key, const std::uint8_t iv12[12],
+                          std::uint32_t first_ctr, std::size_t nblocks,
+                          std::uint8_t *out)
+{
+    __m128i rk[15] = {};
+    for (int r = 0; r <= key.rounds; ++r)
+        rk[r] = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(key.rk.data() + 16 * r));
+
+    // 8 independent counter blocks per step keep the aesenc pipeline
+    // full (latency ~4 cycles, throughput 1-2/cycle on current cores).
+    std::size_t i = 0;
+    while (i + 8 <= nblocks) {
+        __m128i s[8];
+        for (int j = 0; j < 8; ++j) {
+            std::uint8_t block[16];
+            buildCtrBlock(
+                iv12,
+                first_ctr + static_cast<std::uint32_t>(i + static_cast<std::size_t>(j)),
+                block);
+            s[j] = _mm_xor_si128(
+                _mm_loadu_si128(reinterpret_cast<const __m128i *>(block)),
+                rk[0]);
+        }
+        for (int r = 1; r < key.rounds; ++r)
+            for (int j = 0; j < 8; ++j)
+                s[j] = _mm_aesenc_si128(s[j], rk[r]);
+        for (int j = 0; j < 8; ++j) {
+            s[j] = _mm_aesenclast_si128(s[j], rk[key.rounds]);
+            _mm_storeu_si128(
+                reinterpret_cast<__m128i *>(out + (i + static_cast<std::size_t>(j)) * 16),
+                s[j]);
+        }
+        i += 8;
+    }
+    for (; i < nblocks; ++i) {
+        std::uint8_t block[16];
+        buildCtrBlock(iv12, first_ctr + static_cast<std::uint32_t>(i),
+                      block);
+        const __m128i state = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(block));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out + i * 16),
+                         aesniEncrypt1(state, rk, key.rounds));
+    }
+}
+
+SD_TARGET_CLMUL Block128
+detail::gfMulClmul(const Block128 &a, const Block128 &b)
+{
+    const __m128i pa = toPoly(a);
+    const __m128i pb = toPoly(b);
+
+    // Schoolbook 128x128 -> 255-bit carry-less product.
+    const __m128i lo = _mm_clmulepi64_si128(pa, pb, 0x00);
+    const __m128i hi = _mm_clmulepi64_si128(pa, pb, 0x11);
+    const __m128i mid = _mm_xor_si128(
+        _mm_clmulepi64_si128(pa, pb, 0x10),
+        _mm_clmulepi64_si128(pa, pb, 0x01));
+    const __m128i plo =
+        _mm_xor_si128(lo, _mm_slli_si128(mid, 8));
+    const __m128i phi =
+        _mm_xor_si128(hi, _mm_srli_si128(mid, 8));
+
+    // Reduce modulo x^128 + x^7 + x^2 + x + 1: fold phi down with
+    // ghat = x^7 + x^2 + x + 1 (0x87), twice for the <=7-bit spill.
+    const __m128i ghat = _mm_set_epi64x(0, 0x87);
+    const __m128i f0 = _mm_clmulepi64_si128(phi, ghat, 0x00);
+    const __m128i f1 = _mm_clmulepi64_si128(phi, ghat, 0x01);
+    __m128i res = _mm_xor_si128(plo, f0);
+    res = _mm_xor_si128(res, _mm_slli_si128(f1, 8));
+    const __m128i spill = _mm_srli_si128(f1, 8);
+    res = _mm_xor_si128(res,
+                        _mm_clmulepi64_si128(spill, ghat, 0x00));
+    return fromPoly(res);
+}
+
+#else // !SD_KERNELS_X86
+
+bool
+nativeSupported()
+{
+    return false;
+}
+
+void
+detail::aesEncryptNi(const AesKey &, const std::uint8_t *, std::uint8_t *)
+{
+    SD_PANIC("native AES kernel selected on a non-x86 build");
+}
+
+void
+detail::aesCtrKeystreamNi(const AesKey &, const std::uint8_t *,
+                          std::uint32_t, std::size_t, std::uint8_t *)
+{
+    SD_PANIC("native AES kernel selected on a non-x86 build");
+}
+
+Block128
+detail::gfMulClmul(const Block128 &, const Block128 &)
+{
+    SD_PANIC("native GHASH kernel selected on a non-x86 build");
+}
+
+#endif // SD_KERNELS_X86
+
+} // namespace sd::kernels
