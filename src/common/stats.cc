@@ -120,19 +120,43 @@ LogHistogram::bucketHigh(std::size_t i)
     return (1ULL << octave) + ((sub + 1) << (octave - 3)) - 1;
 }
 
+namespace {
+
+/** Relaxed CAS-min over a plain uint64_t cell. */
+void
+atomicMin(std::uint64_t &cell, std::uint64_t v)
+{
+    std::atomic_ref<std::uint64_t> ref(cell);
+    std::uint64_t cur = ref.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !ref.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+}
+
+/** Relaxed CAS-max over a plain uint64_t cell. */
+void
+atomicMax(std::uint64_t &cell, std::uint64_t v)
+{
+    std::atomic_ref<std::uint64_t> ref(cell);
+    std::uint64_t cur = ref.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !ref.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+}
+
+} // namespace
+
 void
 LogHistogram::sample(std::uint64_t v)
 {
-    if (count_ == 0) {
-        min_ = v;
-        max_ = v;
-    } else {
-        min_ = std::min(min_, v);
-        max_ = std::max(max_, v);
-    }
-    sum_ += v;
-    ++count_;
-    ++counts_[bucketIndex(v)];
+    atomicMin(min_, v);
+    atomicMax(max_, v);
+    std::atomic_ref<std::uint64_t>(sum_).fetch_add(
+        v, std::memory_order_relaxed);
+    std::atomic_ref<std::uint64_t>(counts_[bucketIndex(v)])
+        .fetch_add(1, std::memory_order_relaxed);
+    std::atomic_ref<std::uint64_t>(count_).fetch_add(
+        1, std::memory_order_relaxed);
 }
 
 void
@@ -140,7 +164,7 @@ LogHistogram::reset()
 {
     std::fill(counts_.begin(), counts_.end(), 0);
     sum_ = 0;
-    min_ = 0;
+    min_ = ~std::uint64_t{0};
     max_ = 0;
     count_ = 0;
 }
@@ -165,12 +189,14 @@ LogHistogram::percentile(double q) const
 void
 StatsRegistry::set(const std::string &name, double value)
 {
+    MutexLock lock(mu_);
     scalars_[name] = value;
 }
 
 double
 StatsRegistry::get(const std::string &name, double fallback) const
 {
+    MutexLock lock(mu_);
     auto it = scalars_.find(name);
     return it == scalars_.end() ? fallback : it->second;
 }
@@ -178,6 +204,7 @@ StatsRegistry::get(const std::string &name, double fallback) const
 void
 StatsRegistry::dump(std::ostream &os) const
 {
+    MutexLock lock(mu_);
     for (const auto &[name, value] : scalars_)
         os << name << " " << value << "\n";
 }

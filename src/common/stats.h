@@ -8,28 +8,51 @@
 #ifndef SD_COMMON_STATS_H
 #define SD_COMMON_STATS_H
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <ostream>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace sd {
 
-/** Monotonic event counter. */
+/**
+ * Monotonic event counter.
+ *
+ * Concurrency contract: inc() may be called from any number of
+ * threads concurrently (relaxed atomic add through std::atomic_ref,
+ * so the class stays trivially copyable for single-threaded use).
+ * reset() requires quiescence — no concurrent inc().
+ */
 class Counter
 {
   public:
     Counter() = default;
 
-    /** Increment by @p n (default 1). */
-    void inc(std::uint64_t n = 1) { value_ += n; }
+    /** Increment by @p n (default 1). Safe to call concurrently. */
+    void
+    inc(std::uint64_t n = 1)
+    {
+        std::atomic_ref<std::uint64_t>(value_).fetch_add(
+            n, std::memory_order_relaxed);
+    }
 
-    /** Reset to zero (between experiment phases). */
+    /** Reset to zero (between experiment phases; requires quiescence). */
     void reset() { value_ = 0; }
 
     /** @return the current count. */
-    std::uint64_t value() const { return value_; }
+    std::uint64_t
+    value() const
+    {
+        // const_cast only to form the atomic_ref; the load mutates
+        // nothing.
+        return std::atomic_ref<std::uint64_t>(
+                   const_cast<std::uint64_t &>(value_))
+            .load(std::memory_order_relaxed);
+    }
 
   private:
     std::uint64_t value_ = 0;
@@ -49,7 +72,11 @@ class Average
     std::uint64_t count() const { return count_; }
 
     /** @return arithmetic mean, or 0 when empty. */
-    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double
+    mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
 
     double min() const { return count_ ? min_ : 0.0; }
     double max() const { return count_ ? max_ : 0.0; }
@@ -79,7 +106,11 @@ class Histogram
     void reset();
 
     std::uint64_t count() const { return count_; }
-    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double
+    mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
 
     /** @return value below which @p q of the samples fall (0 < q <= 1). */
     double percentile(double q) const;
@@ -87,7 +118,11 @@ class Histogram
     /** @return counts per bucket (for plotting). */
     const std::vector<std::uint64_t> &buckets() const { return counts_; }
 
-    double bucketLow(std::size_t i) const { return lo_ + i * width_; }
+    double
+    bucketLow(std::size_t i) const
+    {
+        return lo_ + static_cast<double>(i) * width_;
+    }
 
   private:
     double lo_;
@@ -105,6 +140,13 @@ class Histogram
  * ~12.5% relative error across the full 64-bit range with a few
  * hundred buckets. No range must be chosen up front, which makes it
  * the right shape for the trace layer's per-stage latency summaries.
+ *
+ * Concurrency contract: sample() may be called from many threads
+ * concurrently (every accumulator mutation is a relaxed atomic RMW
+ * through std::atomic_ref, so the class stays copyable and the
+ * single-threaded observable behaviour is bit-identical). Readers
+ * (count/mean/min/max/percentile) and reset() require quiescence —
+ * they see a torn snapshot if samples race with them.
  */
 class LogHistogram
 {
@@ -114,7 +156,7 @@ class LogHistogram
 
     LogHistogram();
 
-    /** Record one sample. */
+    /** Record one sample. Safe to call concurrently. */
     void sample(std::uint64_t v);
 
     /** Discard all samples. */
@@ -148,14 +190,16 @@ class LogHistogram
 
     std::vector<std::uint64_t> counts_;
     std::uint64_t sum_ = 0;
-    std::uint64_t min_ = 0;
+    /** UINT64_MAX sentinel while empty so concurrent CAS-min works. */
+    std::uint64_t min_ = ~std::uint64_t{0};
     std::uint64_t max_ = 0;
     std::uint64_t count_ = 0;
 };
 
 /**
  * Named stats block: components register scalar getters and the
- * harness dumps them at end of run, gem5-stats style.
+ * harness dumps them at end of run, gem5-stats style. Thread-safe:
+ * every member serialises on an internal mutex.
  */
 class StatsRegistry
 {
@@ -170,10 +214,16 @@ class StatsRegistry
     void dump(std::ostream &os) const;
 
     /** Drop everything. */
-    void clear() { scalars_.clear(); }
+    void
+    clear()
+    {
+        MutexLock lock(mu_);
+        scalars_.clear();
+    }
 
   private:
-    std::map<std::string, double> scalars_;
+    mutable Mutex mu_;
+    std::map<std::string, double> scalars_ SD_GUARDED_BY(mu_);
 };
 
 } // namespace sd

@@ -31,7 +31,8 @@ parseTier(const char *value)
 /**
  * Startup selection: env override first, else the fastest tier this
  * machine can run. Logged to stderr exactly once (stdout stays
- * machine-parsable for the bench harnesses).
+ * machine-parsable for the bench harnesses). Runs under
+ * startupTier()'s once-init guard — do not call directly.
  */
 KernelTier
 selectStartupTier()
@@ -82,14 +83,37 @@ availableTiers()
     return tiers;
 }
 
+namespace {
+
+/**
+ * Once-initialised startup tier. A function-local static is the
+ * properly synchronised once-init: the C++ runtime guarantees
+ * selectStartupTier() runs exactly once even when the first
+ * activeTier() calls race from several threads, and every caller
+ * observes the fully constructed value. (The previous pattern
+ * evaluated the magic static *after* the override check inside
+ * activeTier(), which worked but interleaved the two concerns; with
+ * the init isolated here, concurrent first use, the startup log line
+ * and SD_FORCE_KERNEL parsing are all covered by one guard.)
+ */
+KernelTier
+startupTier()
+{
+    static const KernelTier tier = selectStartupTier();
+    return tier;
+}
+
+} // namespace
+
 KernelTier
 activeTier()
 {
-    const int forced = g_forced.load(std::memory_order_relaxed);
+    // Acquire pairs with the release in forceTier() so a thread that
+    // observes an override also observes everything done before it.
+    const int forced = g_forced.load(std::memory_order_acquire);
     if (forced >= 0)
         return static_cast<KernelTier>(forced);
-    static const KernelTier startup = selectStartupTier();
-    return startup;
+    return startupTier();
 }
 
 void
@@ -97,13 +121,13 @@ forceTier(KernelTier tier)
 {
     SD_ASSERT(tier != KernelTier::kNative || nativeSupported(),
               "forcing the native kernel tier on unsupported hardware");
-    g_forced.store(static_cast<int>(tier), std::memory_order_relaxed);
+    g_forced.store(static_cast<int>(tier), std::memory_order_release);
 }
 
 void
 clearForcedTier()
 {
-    g_forced.store(-1, std::memory_order_relaxed);
+    g_forced.store(-1, std::memory_order_release);
 }
 
 } // namespace sd::kernels

@@ -49,7 +49,8 @@ tcpTransfer(std::size_t bytes, const TcpConfig &config,
 
         // Serialisation + propagation for the round.
         const double serialize_s =
-            static_cast<double>(attempt) * config.mss * 8.0 /
+            static_cast<double>(attempt) *
+            static_cast<double>(config.mss) * 8.0 /
             (config.link_gbps * 1e9);
         time_s += std::max(rtt_s, serialize_s);
 

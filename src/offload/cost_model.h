@@ -5,6 +5,14 @@
  * numbers, the paper's own measurements, or derived calibration
  * against the paper's Fig. 11/12 baselines. All placements share this
  * one header so the benches and tests can sweep or ablate them.
+ *
+ * Concurrency contract: plain value types with no hidden state. A
+ * CostModel is configured once (single-owner while being mutated by a
+ * sweep or ablation) and may then be shared read-only across any
+ * number of threads, or simply copied per thread — copies are cheap
+ * and independent. Nothing here requires synchronisation as long as
+ * writes do not overlap reads, which the placement/design-space code
+ * honours by treating models as immutable after construction.
  */
 
 #ifndef SD_OFFLOAD_COST_MODEL_H

@@ -7,6 +7,7 @@ namespace sd {
 void
 EventQueue::schedule(Tick when, Callback cb, int priority)
 {
+    owner_.check();
     SD_ASSERT(when >= now_, "scheduling into the past (%llu < %llu)",
               static_cast<unsigned long long>(when),
               static_cast<unsigned long long>(now_));
@@ -16,6 +17,7 @@ EventQueue::schedule(Tick when, Callback cb, int priority)
 Tick
 EventQueue::run()
 {
+    owner_.check();
     while (!heap_.empty()) {
         Entry e = heap_.top();
         heap_.pop();
@@ -29,6 +31,7 @@ EventQueue::run()
 Tick
 EventQueue::runUntil(Tick limit)
 {
+    owner_.check();
     while (!heap_.empty() && heap_.top().when <= limit) {
         Entry e = heap_.top();
         heap_.pop();
@@ -44,11 +47,14 @@ EventQueue::runUntil(Tick limit)
 void
 EventQueue::reset()
 {
+    owner_.check();
     while (!heap_.empty())
         heap_.pop();
     now_ = 0;
     seq_ = 0;
     executed_ = 0;
+    // A drained, zeroed queue is the natural handoff point.
+    owner_.release();
 }
 
 } // namespace sd

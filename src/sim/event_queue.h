@@ -4,6 +4,13 @@
  * absolute ticks; the queue executes them in (tick, priority,
  * insertion-order) order. Single-threaded by design — the simulated
  * system may have many cores, the simulator has one.
+ *
+ * Concurrency contract: single-owner. One thread constructs and
+ * drives a queue (and the whole simulated system hanging off it);
+ * scaling across cores means one independent EventQueue per thread,
+ * never sharing one. The contract is spot-checked at runtime by a
+ * SingleOwnerChecker on every mutating entry point; reset() releases
+ * ownership so a finished system can be handed to another thread.
  */
 
 #ifndef SD_SIM_EVENT_QUEUE_H
@@ -14,6 +21,7 @@
 #include <queue>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace sd {
@@ -79,6 +87,9 @@ class EventQueue
             return a.seq > b.seq;
         }
     };
+
+    /** Runtime spot-check of the single-owner contract. */
+    SingleOwnerChecker owner_;
 
     std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
     Tick now_ = 0;

@@ -5,6 +5,10 @@
  * commands. Together with the Addr Remap block it lets the buffer
  * device regenerate the physical address of every CAS — essential
  * because BG/BA/Row/Col alone cannot identify the OS page.
+ *
+ * Concurrency contract: single-owner. The table mirrors one channel's
+ * command bus, and a channel is driven by exactly one thread's
+ * EventQueue; onCommand() spot-checks the contract.
  */
 
 #ifndef SD_SMARTDIMM_BANK_TABLE_H
@@ -15,6 +19,7 @@
 #include <vector>
 
 #include "common/log.h"
+#include "common/thread_annotations.h"
 #include "mem/address_map.h"
 #include "mem/dram_command.h"
 
@@ -33,6 +38,7 @@ class BankTable
     void
     onCommand(const mem::DdrCommand &cmd)
     {
+        owner_.check();
         const unsigned bank = cmd.coord.flatBank(geometry_);
         switch (cmd.type) {
           case mem::DdrCommandType::kActivate:
@@ -58,6 +64,8 @@ class BankTable
 
   private:
     mem::DramGeometry geometry_;
+    /** Runtime spot-check of the single-owner contract. */
+    SingleOwnerChecker owner_;
     std::vector<std::optional<std::uint64_t>> rows_;
 };
 

@@ -18,6 +18,7 @@ Scratchpad::Scratchpad(std::size_t pages) : pages_(pages)
 std::optional<std::uint32_t>
 Scratchpad::allocate()
 {
+    owner_.check();
     if (free_.empty())
         return std::nullopt;
     const std::uint32_t slot = free_.back();
@@ -43,6 +44,7 @@ void
 Scratchpad::writeLine(std::uint32_t page, unsigned line,
                       const std::uint8_t *data, bool computed)
 {
+    owner_.check();
     SD_ASSERT(page < pages_.size() && line < kLinesPerPage,
               "scratchpad write out of range");
     Page &p = pages_[page];
@@ -83,6 +85,7 @@ Scratchpad::linePending(std::uint32_t page, unsigned line) const
 void
 Scratchpad::markComputed(std::uint32_t page, unsigned line)
 {
+    owner_.check();
     SD_ASSERT(pages_[page].allocated, "mark on unallocated page");
     pages_[page].computed.set(line);
 }
@@ -91,6 +94,7 @@ bool
 Scratchpad::drainLine(std::uint32_t page, unsigned line,
                       std::uint8_t *drained)
 {
+    owner_.check();
     Page &p = pages_[page];
     SD_ASSERT(p.allocated && p.pending.test(line),
               "drain of a non-pending scratchpad line");
@@ -108,6 +112,7 @@ Scratchpad::drainLine(std::uint32_t page, unsigned line,
 void
 Scratchpad::forceDrainPage(std::uint32_t page, std::uint8_t *page_data)
 {
+    owner_.check();
     Page &p = pages_[page];
     SD_ASSERT(p.allocated, "force-drain of unallocated page");
     std::memcpy(page_data, p.data.data(), kPageSize);

@@ -4,6 +4,11 @@
  * allocated at 4 KB page granularity. DSA results stage here until the
  * LLC's writeback of the destination buffer drains them to DRAM
  * (Self-Recycle); a page frees once every cacheline is drained.
+ *
+ * Concurrency contract: single-owner. A scratchpad belongs to one
+ * buffer device, which belongs to one simulated channel, which is
+ * driven by exactly one thread's EventQueue. Mutating entry points
+ * spot-check the contract with a SingleOwnerChecker.
  */
 
 #ifndef SD_SMARTDIMM_SCRATCHPAD_H
@@ -14,6 +19,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace sd::smartdimm {
@@ -103,6 +109,9 @@ class Scratchpad
     };
 
     void freePage(std::uint32_t page);
+
+    /** Runtime spot-check of the single-owner contract. */
+    SingleOwnerChecker owner_;
 
     std::vector<Page> pages_;
     std::vector<std::uint32_t> free_; ///< LIFO free list

@@ -76,6 +76,7 @@ StatsBlock::hist(const std::string &name, const LogHistogram &h)
 void
 StatsRegistry::add(const std::string &component, Provider provider)
 {
+    MutexLock lock(mu_);
     for (auto &[name, p] : providers_) {
         if (name == component) {
             p = std::move(provider);
@@ -88,6 +89,7 @@ StatsRegistry::add(const std::string &component, Provider provider)
 void
 StatsRegistry::remove(const std::string &component)
 {
+    MutexLock lock(mu_);
     std::erase_if(providers_,
                   [&](const auto &p) { return p.first == component; });
 }
@@ -95,9 +97,17 @@ StatsRegistry::remove(const std::string &component)
 std::vector<std::pair<std::string, StatsBlock>>
 StatsRegistry::collect() const
 {
+    // Snapshot under the lock, run the providers outside it: a
+    // provider may legitimately call back into this registry, and
+    // component state is required to be quiescent at dump time anyway.
+    std::vector<std::pair<std::string, Provider>> snapshot;
+    {
+        MutexLock lock(mu_);
+        snapshot = providers_;
+    }
     std::vector<std::pair<std::string, StatsBlock>> out;
-    out.reserve(providers_.size());
-    for (const auto &[name, provider] : providers_) {
+    out.reserve(snapshot.size());
+    for (const auto &[name, provider] : snapshot) {
         StatsBlock block;
         provider(block);
         out.emplace_back(name, std::move(block));
@@ -151,25 +161,34 @@ tracer()
 void
 Tracer::enable(bool capture_ddr)
 {
-    enabled_ = true;
-    capture_ddr_ = capture_ddr;
+    capture_ddr_.store(capture_ddr, std::memory_order_relaxed);
+    enabled_.store(true, std::memory_order_relaxed);
 }
 
 void
 Tracer::clear()
 {
+    MutexLock lock(mu_);
     spans_.clear();
     events_.clear();
     page_span_.clear();
     dropped_ = 0;
 }
 
+void
+Tracer::setMaxEvents(std::size_t n)
+{
+    MutexLock lock(mu_);
+    max_events_ = n;
+}
+
 std::uint32_t
 Tracer::beginSpan(const char *kind, Addr sbuf, Addr dbuf,
                   std::size_t bytes, Tick now)
 {
-    if (!enabled_)
+    if (!enabled())
         return 0;
+    MutexLock lock(mu_);
     Span span;
     span.id = static_cast<std::uint32_t>(spans_.size()) + 1;
     span.kind = kind;
@@ -182,25 +201,42 @@ Tracer::beginSpan(const char *kind, Addr sbuf, Addr dbuf,
 }
 
 void
+Tracer::endSpan(std::uint32_t span, Tick tick)
+{
+    if (!enabled() || span == 0)
+        return;
+    MutexLock lock(mu_);
+    if (span <= spans_.size())
+        spans_[span - 1].end = tick;
+}
+
+void
 Tracer::bindPage(std::uint64_t page, std::uint32_t span)
 {
-    if (!enabled_ || span == 0)
+    if (!enabled() || span == 0)
         return;
+    MutexLock lock(mu_);
     page_span_[page] = span;
 }
 
 std::uint32_t
 Tracer::spanOfPage(std::uint64_t page) const
 {
+    MutexLock lock(mu_);
+    return spanOfPageLocked(page);
+}
+
+std::uint32_t
+Tracer::spanOfPageLocked(std::uint64_t page) const
+{
     const auto it = page_span_.find(page);
     return it == page_span_.end() ? 0 : it->second;
 }
 
 void
-Tracer::event(std::uint32_t span, Stage stage, Tick tick, Addr addr)
+Tracer::recordLocked(std::uint32_t span, Stage stage, Tick tick,
+                     Addr addr)
 {
-    if (!enabled_ || span == 0)
-        return;
     if (events_.size() >= max_events_) {
         ++dropped_;
         return;
@@ -209,21 +245,60 @@ Tracer::event(std::uint32_t span, Stage stage, Tick tick, Addr addr)
 }
 
 void
+Tracer::event(std::uint32_t span, Stage stage, Tick tick, Addr addr)
+{
+    if (!enabled() || span == 0)
+        return;
+    MutexLock lock(mu_);
+    recordLocked(span, stage, tick, addr);
+}
+
+void
+Tracer::pageEvent(std::uint64_t page, Stage stage, Tick tick, Addr addr)
+{
+    if (!enabled())
+        return;
+    MutexLock lock(mu_);
+    const std::uint32_t span = spanOfPageLocked(page);
+    if (span == 0)
+        return;
+    recordLocked(span, stage, tick, addr);
+}
+
+void
 Tracer::ddrEvent(Stage stage, Tick tick, Addr addr)
 {
     if (!ddrCapture())
         return;
-    if (events_.size() >= max_events_) {
-        ++dropped_;
-        return;
-    }
-    events_.push_back(
-        TraceEvent{tick, spanOfPage(addr / kPageSize), stage, addr});
+    MutexLock lock(mu_);
+    recordLocked(spanOfPageLocked(addr / kPageSize), stage, tick, addr);
+}
+
+std::vector<Span>
+Tracer::spans() const
+{
+    MutexLock lock(mu_);
+    return spans_;
+}
+
+std::vector<TraceEvent>
+Tracer::events() const
+{
+    MutexLock lock(mu_);
+    return events_;
+}
+
+std::uint64_t
+Tracer::droppedEvents() const
+{
+    MutexLock lock(mu_);
+    return dropped_;
 }
 
 std::vector<TraceEvent>
 Tracer::spanEvents(std::uint32_t span) const
 {
+    MutexLock lock(mu_);
     std::vector<TraceEvent> out;
     for (const auto &e : events_)
         if (e.span == span)
@@ -234,6 +309,7 @@ Tracer::spanEvents(std::uint32_t span) const
 bool
 Tracer::spanHasStage(std::uint32_t span, Stage stage) const
 {
+    MutexLock lock(mu_);
     return std::any_of(events_.begin(), events_.end(),
                        [&](const TraceEvent &e) {
                            return e.span == span && e.stage == stage;
@@ -242,6 +318,13 @@ Tracer::spanHasStage(std::uint32_t span, Stage stage) const
 
 void
 Tracer::dumpJson(std::ostream &os, const StatsRegistry *stats) const
+{
+    MutexLock lock(mu_);
+    dumpJsonLocked(os, stats);
+}
+
+void
+Tracer::dumpJsonLocked(std::ostream &os, const StatsRegistry *stats) const
 {
     constexpr auto kStages = static_cast<std::size_t>(Stage::kCount);
 
@@ -344,6 +427,13 @@ Tracer::dumpJson(std::ostream &os, const StatsRegistry *stats) const
 
 void
 Tracer::dumpCsv(std::ostream &os) const
+{
+    MutexLock lock(mu_);
+    dumpCsvLocked(os);
+}
+
+void
+Tracer::dumpCsvLocked(std::ostream &os) const
 {
     os << "tick,span,stage,address\n";
     for (const auto &e : events_)

@@ -24,11 +24,22 @@
  * near-zero overhead to the simulation hot paths. Defining
  * SD_TRACE_DISABLED at build time additionally compiles the recording
  * macros out entirely.
+ *
+ * Concurrency contract: the Tracer and StatsRegistry are the two
+ * pieces of genuinely process-shared state in the stack (many driver
+ * threads, each owning an independent simulated system, record into
+ * the one tracer()). Every recording and registration entry point is
+ * therefore thread-safe behind an annotated mutex; the enabled check
+ * stays a lock-free atomic load so the disabled fast path is
+ * unchanged. Event order under concurrency follows lock-acquisition
+ * order; single-threaded runs are bit-identical to the unsynchronised
+ * implementation (the golden-trace suite is the guard).
  */
 
 #ifndef SD_TRACE_TRACE_H
 #define SD_TRACE_TRACE_H
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <ostream>
@@ -38,6 +49,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace sd::trace {
@@ -82,6 +94,8 @@ struct Span
     Addr dbuf = 0;
     std::size_t bytes = 0;
     Tick begin = 0;
+    /** Explicit end mark from endSpan(); 0 = derived from last event. */
+    Tick end = 0;
 };
 
 /**
@@ -116,6 +130,12 @@ class StatsBlock
  * stable component name; re-registering replaces. Providers capture
  * raw pointers into their components — remove (or discard the
  * registry) before the component is destroyed.
+ *
+ * Thread-safe: add/remove/collect serialise on an internal mutex, so
+ * driver threads may register their components against one shared
+ * registry. collect() snapshots the provider list under the lock but
+ * invokes the providers outside it — providers read component state,
+ * which must be quiescent (or itself thread-safe) at dump time.
  */
 class StatsRegistry
 {
@@ -124,7 +144,21 @@ class StatsRegistry
 
     void add(const std::string &component, Provider provider);
     void remove(const std::string &component);
-    void clear() { providers_.clear(); }
+
+    void
+    clear()
+    {
+        MutexLock lock(mu_);
+        providers_.clear();
+    }
+
+    /** Number of registered providers. */
+    std::size_t
+    size() const
+    {
+        MutexLock lock(mu_);
+        return providers_.size();
+    }
 
     /** Collect every provider into (component, block) rows. */
     std::vector<std::pair<std::string, StatsBlock>> collect() const;
@@ -136,18 +170,31 @@ class StatsRegistry
     void dumpCsv(std::ostream &os) const;
 
   private:
+    mutable Mutex mu_;
     /** Insertion-ordered so dumps are reproducible. */
-    std::vector<std::pair<std::string, Provider>> providers_;
+    std::vector<std::pair<std::string, Provider>> providers_
+        SD_GUARDED_BY(mu_);
 };
 
-/** Span/event recorder. Use the process-wide instance via tracer(). */
+/**
+ * Span/event recorder. Use the process-wide instance via tracer().
+ * All recording entry points are thread-safe (see the file comment).
+ */
 class Tracer
 {
   public:
-    bool enabled() const { return enabled_; }
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
 
     /** @return true when DDR commands should be mirrored too. */
-    bool ddrCapture() const { return enabled_ && capture_ddr_; }
+    bool
+    ddrCapture() const
+    {
+        return enabled() && capture_ddr_.load(std::memory_order_relaxed);
+    }
 
     /**
      * Start recording. @p capture_ddr additionally mirrors every DDR
@@ -157,19 +204,28 @@ class Tracer
     void enable(bool capture_ddr = false);
 
     /** Stop recording; captured data stays until clear(). */
-    void disable() { enabled_ = false; }
+    void disable() { enabled_.store(false, std::memory_order_relaxed); }
 
     /** Drop spans, events and page bindings (keeps enable state). */
     void clear();
 
     /** Cap the event buffer; excess events count as dropped. */
-    void setMaxEvents(std::size_t n) { max_events_ = n; }
+    void setMaxEvents(std::size_t n);
 
     // ----- recording --------------------------------------------------------
 
     /** Open a span. @return its id (0 when disabled). */
     std::uint32_t beginSpan(const char *kind, Addr sbuf, Addr dbuf,
                             std::size_t bytes, Tick now);
+
+    /**
+     * Mark a span finished at @p tick. Page bindings stay intact
+     * (device-side drains trail a CompCpy, so late events still
+     * attribute correctly until clear()). The mark is advisory
+     * metadata surfaced through spans(); derived span end times in
+     * the dumps are unchanged.
+     */
+    void endSpan(std::uint32_t span, Tick tick);
 
     /** Attribute device-side events on @p page to @p span. */
     void bindPage(std::uint64_t page, std::uint32_t span);
@@ -181,22 +237,21 @@ class Tracer
     void event(std::uint32_t span, Stage stage, Tick tick, Addr addr = 0);
 
     /** Record an event attributed through the page binding. */
-    void
-    pageEvent(std::uint64_t page, Stage stage, Tick tick, Addr addr = 0)
-    {
-        if (!enabled_)
-            return;
-        event(spanOfPage(page), stage, tick, addr);
-    }
+    void pageEvent(std::uint64_t page, Stage stage, Tick tick,
+                   Addr addr = 0);
 
     /** Mirror one DDR command (recorded even when unattributed). */
     void ddrEvent(Stage stage, Tick tick, Addr addr);
 
     // ----- inspection -------------------------------------------------------
 
-    const std::vector<Span> &spans() const { return spans_; }
-    const std::vector<TraceEvent> &events() const { return events_; }
-    std::uint64_t droppedEvents() const { return dropped_; }
+    /** Snapshot of all spans opened so far. */
+    std::vector<Span> spans() const;
+
+    /** Snapshot of the event log in capture order. */
+    std::vector<TraceEvent> events() const;
+
+    std::uint64_t droppedEvents() const;
 
     /** Events of @p span grouped in capture order. */
     std::vector<TraceEvent> spanEvents(std::uint32_t span) const;
@@ -225,13 +280,25 @@ class Tracer
     bool writeCsvFile(const std::string &path) const;
 
   private:
-    bool enabled_ = false;
-    bool capture_ddr_ = false;
-    std::size_t max_events_ = 1u << 20;
-    std::uint64_t dropped_ = 0;
-    std::vector<Span> spans_;
-    std::vector<TraceEvent> events_;
-    std::unordered_map<std::uint64_t, std::uint32_t> page_span_;
+    std::uint32_t spanOfPageLocked(std::uint64_t page) const
+        SD_REQUIRES(mu_);
+    void recordLocked(std::uint32_t span, Stage stage, Tick tick,
+                      Addr addr) SD_REQUIRES(mu_);
+    void dumpJsonLocked(std::ostream &os, const StatsRegistry *stats)
+        const SD_REQUIRES(mu_);
+    void dumpCsvLocked(std::ostream &os) const SD_REQUIRES(mu_);
+
+    /** Lock-free so the disabled fast path stays a single branch. */
+    std::atomic<bool> enabled_{false};
+    std::atomic<bool> capture_ddr_{false};
+
+    mutable Mutex mu_;
+    std::size_t max_events_ SD_GUARDED_BY(mu_) = 1u << 20;
+    std::uint64_t dropped_ SD_GUARDED_BY(mu_) = 0;
+    std::vector<Span> spans_ SD_GUARDED_BY(mu_);
+    std::vector<TraceEvent> events_ SD_GUARDED_BY(mu_);
+    std::unordered_map<std::uint64_t, std::uint32_t> page_span_
+        SD_GUARDED_BY(mu_);
 };
 
 /** The process-wide tracer every simulator component records into. */
@@ -241,14 +308,25 @@ Tracer &tracer();
 
 // Recording macros: compiled out entirely under SD_TRACE_DISABLED,
 // otherwise a single branch on the enabled flag.
+//
+// SD_SPAN_BEGIN/SD_SPAN_END delimit a synchronous traced unit of
+// work; tools/sdlint.py enforces that each function balances them.
+// Asynchronous flows whose span outlives the opening function (the
+// CompCpy engine) use the raw beginSpan()/endSpan() API instead.
 #ifdef SD_TRACE_DISABLED
 #define SD_TRACE_EVENT(span, stage, tick, addr) ((void)0)
 #define SD_TRACE_PAGE_EVENT(page, stage, tick, addr) ((void)0)
+#define SD_SPAN_BEGIN(kind, sbuf, dbuf, bytes, now) (std::uint32_t{0})
+#define SD_SPAN_END(span, tick) ((void)(span))
 #else
 #define SD_TRACE_EVENT(span, stage, tick, addr)                             \
     ::sd::trace::tracer().event((span), (stage), (tick), (addr))
 #define SD_TRACE_PAGE_EVENT(page, stage, tick, addr)                        \
     ::sd::trace::tracer().pageEvent((page), (stage), (tick), (addr))
+#define SD_SPAN_BEGIN(kind, sbuf, dbuf, bytes, now)                         \
+    ::sd::trace::tracer().beginSpan((kind), (sbuf), (dbuf), (bytes), (now))
+#define SD_SPAN_END(span, tick)                                             \
+    ::sd::trace::tracer().endSpan((span), (tick))
 #endif
 
 #endif // SD_TRACE_TRACE_H

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Run clang-tidy over every translation unit in src/ using the
+# compile_commands.json exported by CMake (CMAKE_EXPORT_COMPILE_COMMANDS
+# is on unconditionally). Usage:
+#
+#   tools/run_tidy.sh [build-dir]     # default build dir: ./build
+#
+# Exits 0 when clang-tidy is clean (or not installed — the lint CI job
+# installs it; developer machines without it just skip), 1 on findings.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+
+TIDY="$(command -v clang-tidy || true)"
+if [ -z "$TIDY" ]; then
+    echo "run_tidy.sh: clang-tidy not installed; skipping (CI runs it)" >&2
+    exit 0
+fi
+
+if [ ! -f "$BUILD/compile_commands.json" ]; then
+    echo "run_tidy.sh: $BUILD/compile_commands.json missing; configure first:" >&2
+    echo "  cmake -B $BUILD -S $ROOT" >&2
+    exit 1
+fi
+
+# Lint only first-party sources; tests and third-party code are out of
+# scope for the tidy profile.
+mapfile -t FILES < <(cd "$ROOT" && find src -name '*.cc' | sort)
+
+STATUS=0
+for f in "${FILES[@]}"; do
+    echo "== clang-tidy $f"
+    "$TIDY" -p "$BUILD" --quiet "$ROOT/$f" || STATUS=1
+done
+
+if [ "$STATUS" -ne 0 ]; then
+    echo "run_tidy.sh: findings above (WarningsAsErrors='*')" >&2
+fi
+exit "$STATUS"

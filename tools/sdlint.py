@@ -1,0 +1,361 @@
+#!/usr/bin/env python3
+"""sdlint — project-specific invariant linter for the SmartDIMM repo.
+
+Checks invariants that generic tools (clang-tidy, compiler warnings)
+cannot express because they encode *project* contracts:
+
+  determinism   no rand()/srand()/std::random_device in src/ — all
+                randomness must flow through sd::Rng so runs replay
+                bit-identically from a seed.
+  span-balance  every SD_SPAN_BEGIN in a function body is matched by an
+                SD_SPAN_END before that function ends (async engines
+                use the raw Tracer API, which the rule ignores).
+  iostream      no `#include <iostream>` in src/ headers — pulling the
+                static ios_base initialiser into every TU bloats the
+                data plane; sinks take std::ostream& instead.
+  mmio          MmioReg register offsets are unique and 8-byte aligned
+                (the DSA decoder does 64-bit MMIO loads).
+  guards        every src/ header has an #ifndef SD_* include guard.
+
+Usage:
+  tools/sdlint.py [--root DIR]     lint the tree (exit 1 on findings)
+  tools/sdlint.py --self-test      run the linter's own test corpus
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+SRC_EXTS = {".h", ".cc"}
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving offsets
+    and newlines so line numbers and brace positions stay valid."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | str | chr
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "str"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "chr"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            elif c == "\\" and nxt == "\n":
+                out.append(" \n")
+                i += 2
+                continue
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        else:  # str / chr
+            quote = '"' if state == "str" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def line_of(text: str, pos: int) -> int:
+    return text.count("\n", 0, pos) + 1
+
+
+# --------------------------------------------------------------------------
+# Rule: determinism
+# --------------------------------------------------------------------------
+
+RANDOM_RE = re.compile(r"\b(?:srand|rand)\s*\(|std\s*::\s*random_device")
+
+
+def check_determinism(path: pathlib.Path, text: str, clean: str) -> list:
+    findings = []
+    for m in RANDOM_RE.finditer(clean):
+        findings.append(
+            (path, line_of(clean, m.start()), "determinism",
+             f"'{m.group(0).strip()}' breaks replayability; "
+             "use sd::Rng seeded from the config"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: span-balance
+# --------------------------------------------------------------------------
+
+SPAN_RE = re.compile(r"\bSD_SPAN_(BEGIN|END)\b")
+# A '{' opens a *function body* when the text before it ends in a
+# parameter list (plus trailing qualifiers). Initialiser lists, class
+# bodies, namespaces and control statements don't match.
+FUNC_OPEN_RE = re.compile(
+    r"\)\s*(?:const|noexcept|override|final|mutable|->\s*[\w:<>&*\s]+)*\s*$")
+CONTROL_RE = re.compile(r"\b(?:if|for|while|switch|catch)\s*\($")
+
+
+def check_span_balance(path: pathlib.Path, text: str, clean: str) -> list:
+    """Brace-tracking heuristic: inside every function body, the number
+    of SD_SPAN_BEGINs must equal the number of SD_SPAN_ENDs by the time
+    the body's closing brace is reached. Macro *definitions* (lines
+    starting with #) are ignored."""
+    # Blank out preprocessor lines so the macro definitions in
+    # trace.h don't count as uses.
+    lines = clean.split("\n")
+    for idx, ln in enumerate(lines):
+        if ln.lstrip().startswith("#"):
+            lines[idx] = ""
+    clean = "\n".join(lines)
+
+    findings = []
+    stack = []  # (is_function, begin_count, end_count, open_line)
+    for i, c in enumerate(clean):
+        if c == "{":
+            before = clean[max(0, i - 200):i]
+            is_func = bool(FUNC_OPEN_RE.search(before)) and not CONTROL_RE.search(
+                before.rstrip()[:-1].rstrip() + "(")
+            stack.append([is_func, 0, 0, line_of(clean, i)])
+        elif c == "}":
+            if not stack:
+                continue
+            is_func, begins, ends, open_line = stack.pop()
+            if is_func and begins != ends:
+                findings.append(
+                    (path, open_line, "span-balance",
+                     f"function opens {begins} SD_SPAN_BEGIN but closes "
+                     f"{ends} SD_SPAN_END"))
+            elif stack:
+                # Non-function scope: bubble counts up to the enclosing
+                # scope so spans opened in an if-branch still balance
+                # at function level.
+                stack[-1][1] += begins
+                stack[-1][2] += ends
+        elif c == "S" and SPAN_RE.match(clean, i):
+            m = SPAN_RE.match(clean, i)
+            if stack:
+                stack[-1][1 if m.group(1) == "BEGIN" else 2] += 1
+            else:
+                findings.append(
+                    (path, line_of(clean, i), "span-balance",
+                     f"SD_SPAN_{m.group(1)} outside any function body"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: iostream
+# --------------------------------------------------------------------------
+
+IOSTREAM_RE = re.compile(r"^\s*#\s*include\s*<iostream>", re.MULTILINE)
+
+
+def check_iostream(path: pathlib.Path, text: str, clean: str) -> list:
+    if path.suffix != ".h":
+        return []
+    findings = []
+    for m in IOSTREAM_RE.finditer(clean):
+        findings.append(
+            (path, line_of(clean, m.start()), "iostream",
+             "<iostream> in a header drags the ios_base initialiser "
+             "into every TU; take std::ostream& instead"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: mmio
+# --------------------------------------------------------------------------
+
+MMIO_ENUM_RE = re.compile(
+    r"enum\s+class\s+MmioReg[^{]*\{(.*?)\}", re.DOTALL)
+MMIO_ENTRY_RE = re.compile(r"(\w+)\s*=\s*(0[xX][0-9a-fA-F]+|\d+)")
+
+
+def check_mmio(path: pathlib.Path, text: str, clean: str) -> list:
+    m = MMIO_ENUM_RE.search(clean)
+    if not m:
+        return []
+    findings = []
+    seen = {}
+    base_line = line_of(clean, m.start(1))
+    for entry in MMIO_ENTRY_RE.finditer(m.group(1)):
+        name, value = entry.group(1), int(entry.group(2), 0)
+        lineno = base_line + m.group(1).count("\n", 0, entry.start())
+        if value % 8 != 0:
+            findings.append(
+                (path, lineno, "mmio",
+                 f"MmioReg::{name} = {value:#x} is not 8-byte aligned; "
+                 "the DSA decoder does 64-bit MMIO loads"))
+        if value in seen:
+            findings.append(
+                (path, lineno, "mmio",
+                 f"MmioReg::{name} = {value:#x} collides with "
+                 f"MmioReg::{seen[value]}"))
+        else:
+            seen[value] = name
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: guards
+# --------------------------------------------------------------------------
+
+GUARD_RE = re.compile(r"^\s*#\s*ifndef\s+(SD_\w+)\s*$\s*^\s*#\s*define\s+\1\s*$",
+                      re.MULTILINE)
+
+
+def check_guards(path: pathlib.Path, text: str, clean: str) -> list:
+    if path.suffix != ".h":
+        return []
+    if GUARD_RE.search(text):
+        return []
+    return [(path, 1, "guards",
+             "header lacks an #ifndef SD_* include guard")]
+
+
+CHECKS = [check_determinism, check_span_balance, check_iostream,
+          check_mmio, check_guards]
+
+
+def lint_text(path: pathlib.Path, text: str) -> list:
+    clean = strip_comments_and_strings(text)
+    findings = []
+    for check in CHECKS:
+        findings.extend(check(path, text, clean))
+    return findings
+
+
+def lint_tree(root: pathlib.Path) -> int:
+    findings = []
+    src = root / "src"
+    for path in sorted(src.rglob("*")):
+        if path.suffix in SRC_EXTS and path.is_file():
+            findings.extend(lint_text(path, path.read_text()))
+    for path, lineno, rule, msg in findings:
+        print(f"{path}:{lineno}: [{rule}] {msg}")
+    if findings:
+        print(f"sdlint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+# --------------------------------------------------------------------------
+# Self test
+# --------------------------------------------------------------------------
+
+SELF_TESTS = [
+    # (name, source, suffix, expected rule names)
+    ("rand-call", "int f() { return rand(); }", ".cc", ["determinism"]),
+    ("srand-call", "void f() { srand(42); }", ".cc", ["determinism"]),
+    ("random-device", "#include <random>\nstd::random_device rd;", ".cc",
+     ["determinism"]),
+    ("rand-in-comment", "// rand() is banned\nint f() { return 0; }", ".cc",
+     []),
+    ("rand-in-string",
+     '#ifndef SD_X_H\n#define SD_X_H\nconst char *k = "rand()";\n#endif',
+     ".h", []),
+    ("rand-substring", "int grand() { return strand(); }", ".cc", []),
+    ("span-balanced",
+     "void f() { auto s = SD_SPAN_BEGIN(\"x\",0,0,0,0); SD_SPAN_END(s,1); }",
+     ".cc", []),
+    ("span-unbalanced",
+     "void f() { auto s = SD_SPAN_BEGIN(\"x\",0,0,0,0); }", ".cc",
+     ["span-balance"]),
+    ("span-branch-balanced",
+     "void f(bool b) {\n"
+     "  auto s = SD_SPAN_BEGIN(\"x\",0,0,0,0);\n"
+     "  if (b) { SD_SPAN_END(s,1); } else { SD_SPAN_END(s,2); }\n"
+     "}", ".cc", ["span-balance"]),  # 1 begin vs 2 ends: flagged
+    ("span-two-functions",
+     "void f() { auto s = SD_SPAN_BEGIN(\"x\",0,0,0,0); SD_SPAN_END(s,1); }\n"
+     "void g() { SD_SPAN_END(0,1); }", ".cc", ["span-balance"]),
+    ("span-macro-def",
+     "#ifndef SD_T_H\n#define SD_T_H\n"
+     "#define SD_SPAN_BEGIN(k,s,d,b,n) tracer().beginSpan(k,s,d,b,n)\n"
+     "#endif", ".h", []),
+    ("iostream-header",
+     "#ifndef SD_A_H\n#define SD_A_H\n#include <iostream>\n#endif", ".h",
+     ["iostream"]),
+    ("iostream-impl", "#include <iostream>\nint x;", ".cc", []),
+    ("mmio-good",
+     "#ifndef SD_B_H\n#define SD_B_H\n"
+     "enum class MmioReg : unsigned { kA = 0x00, kB = 0x40 };\n#endif", ".h",
+     []),
+    ("mmio-misaligned",
+     "#ifndef SD_C_H\n#define SD_C_H\n"
+     "enum class MmioReg : unsigned { kA = 0x00, kB = 0x44, kC = 0x3 };\n"
+     "#endif", ".h", ["mmio", "mmio"]),
+    ("mmio-duplicate",
+     "#ifndef SD_D_H\n#define SD_D_H\n"
+     "enum class MmioReg : unsigned { kA = 0x40, kB = 0x40 };\n#endif", ".h",
+     ["mmio"]),
+    ("guard-missing", "int x;", ".h", ["guards"]),
+]
+
+
+def self_test() -> int:
+    failures = 0
+    for name, source, suffix, expected in SELF_TESTS:
+        findings = lint_text(pathlib.Path(f"<self-test:{name}>{suffix}"),
+                             source)
+        got = sorted(rule for _, _, rule, _ in findings)
+        if got != sorted(expected):
+            failures += 1
+            print(f"FAIL {name}: expected {sorted(expected)}, got {got}")
+            for f in findings:
+                print(f"    {f}")
+        else:
+            print(f"ok   {name}")
+    if failures:
+        print(f"sdlint --self-test: {failures} failure(s)", file=sys.stderr)
+        return 1
+    print(f"sdlint --self-test: all {len(SELF_TESTS)} cases pass")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent.parent,
+                        help="repository root (default: repo containing this script)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the linter's own test corpus")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    return lint_tree(args.root)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
