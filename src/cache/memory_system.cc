@@ -37,6 +37,13 @@ MemorySystem::route(Addr addr)
     return *controllers_[map_.decompose(addr).channel];
 }
 
+void
+MemorySystem::setFaultPlan(fault::FaultPlan *plan)
+{
+    for (auto &mc : controllers_)
+        mc->setFaultPlan(plan);
+}
+
 std::uint64_t
 MemorySystem::dramBytes() const
 {
@@ -94,12 +101,12 @@ MemorySystem::readLine(Addr addr, std::uint8_t *dst, Callback cb)
     // hand the bytes to the caller.
     auto fill = std::make_shared<std::array<std::uint8_t, kCacheLineSize>>();
     route(line).enqueueRead(line, fill->data(),
-                            [this, line, dst, fill, cb](Tick at) {
+                            track([line, dst, fill, cb, this](Tick at) {
         if (std::uint8_t *slot = llc_.dataPtr(line))
             std::memcpy(slot, fill->data(), kCacheLineSize);
         std::memcpy(dst, fill->data(), kCacheLineSize);
         cb(at);
-    });
+    }));
 }
 
 void
@@ -121,8 +128,7 @@ MemorySystem::flushLine(Addr addr, Callback cb)
     const Addr line = lineAlign(addr);
     const auto result = llc_.flush(line);
     if (result.dirty) {
-        route(line).enqueueWrite(line, result.data.data(),
-                                 [cb](Tick at) { cb(at); });
+        route(line).enqueueWrite(line, result.data.data(), track(cb));
         return;
     }
     events_.scheduleIn(latencies_.flush_clean,
@@ -132,15 +138,13 @@ MemorySystem::flushLine(Addr addr, Callback cb)
 void
 MemorySystem::mmioWrite(Addr addr, const std::uint8_t *src, Callback cb)
 {
-    route(addr).enqueueWrite(lineAlign(addr), src,
-                             [cb](Tick at) { cb(at); });
+    route(addr).enqueueWrite(lineAlign(addr), src, track(cb));
 }
 
 void
 MemorySystem::mmioRead(Addr addr, std::uint8_t *dst, Callback cb)
 {
-    route(addr).enqueueRead(lineAlign(addr), dst,
-                            [cb](Tick at) { cb(at); });
+    route(addr).enqueueRead(lineAlign(addr), dst, track(cb));
 }
 
 void
@@ -170,7 +174,7 @@ MemorySystem::dmaReadLine(Addr addr, std::uint8_t *dst, Callback cb)
                            [cb, this] { cb(events_.now()); });
         return;
     }
-    route(line).enqueueRead(line, dst, [cb](Tick at) { cb(at); });
+    route(line).enqueueRead(line, dst, track(cb));
 }
 
 void

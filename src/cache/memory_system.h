@@ -137,6 +137,18 @@ class MemorySystem
     std::uint64_t dramBytes() const;
 
     /**
+     * Attach a fault plan (not owned; may be null) to every channel
+     * controller. The host-facing Callback API is unchanged — degraded
+     * completions are tallied here and exposed via degradedReads() so
+     * upper layers (CompCpy) can detect that a window of their traffic
+     * came back untrusted.
+     */
+    void setFaultPlan(fault::FaultPlan *plan);
+
+    /** Completions that came back mem::MemStatus::kDegraded. */
+    std::uint64_t degradedReads() const { return degraded_reads_; }
+
+    /**
      * Register "<prefix>llc" and one "<prefix>mc.chN" provider per
      * channel into @p registry. Providers reference this object —
      * remove them (or drop the registry) before destroying it.
@@ -148,12 +160,24 @@ class MemorySystem
     mem::MemoryController &route(Addr addr);
     void writebackVictim(const AccessResult &result);
 
+    /** Wrap a host Callback as a MemCallback that tallies kDegraded. */
+    mem::MemCallback
+    track(Callback cb)
+    {
+        return [this, cb](Tick at, mem::MemStatus status) {
+            if (status == mem::MemStatus::kDegraded)
+                ++degraded_reads_;
+            cb(at);
+        };
+    }
+
     EventQueue &events_;
     mem::AddressMap map_;
     Cache llc_;
     mem::BackingStore store_;
     HostLatencies latencies_;
     std::vector<std::unique_ptr<mem::MemoryController>> controllers_;
+    std::uint64_t degraded_reads_ = 0;
 };
 
 } // namespace sd::cache

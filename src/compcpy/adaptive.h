@@ -53,6 +53,23 @@ class LlcContentionProbe
             ++switches_;
     }
 
+    /**
+     * Signal that the last offloaded call completed degraded (ALERT_N
+     * exhaustion or a rejected registration). The probe immediately
+     * falls back to CPU placement and resets the EWMA so the next
+     * sample() re-learns the contention level from scratch rather
+     * than re-offloading on stale history.
+     */
+    void
+    noteDegraded()
+    {
+        if (offload_)
+            ++switches_;
+        offload_ = false;
+        ewma_ = -1.0;
+        ++degraded_notes_;
+    }
+
     /** Current decision: true = offload to SmartDIMM. */
     bool shouldOffload() const { return offload_; }
 
@@ -65,12 +82,17 @@ class LlcContentionProbe
     /** CPU<->SmartDIMM decision flips (stability metric). */
     std::uint64_t switches() const { return switches_; }
 
+    /** Degraded-call fallbacks forced via noteDegraded(). */
+    std::uint64_t degradedNotes() const { return degraded_notes_; }
+
     /** Contribute probe counters to a stats dump. */
     void
     reportStats(trace::StatsBlock &block) const
     {
         block.scalar("samples", static_cast<double>(samples_));
         block.scalar("switches", static_cast<double>(switches_));
+        block.scalar("degraded_notes",
+                     static_cast<double>(degraded_notes_));
         block.scalar("miss_rate_ewma", missRateEwma());
         block.scalar("offloading", offload_ ? 1.0 : 0.0);
     }
@@ -82,6 +104,7 @@ class LlcContentionProbe
     bool offload_ = false;
     std::uint64_t samples_ = 0;
     std::uint64_t switches_ = 0;
+    std::uint64_t degraded_notes_ = 0;
 };
 
 } // namespace sd::compcpy

@@ -1,5 +1,7 @@
 #include "compcpy/compcpy.h"
 
+#include <algorithm>
+#include <array>
 #include <cstring>
 #include <memory>
 
@@ -8,6 +10,15 @@
 #include "smartdimm/deflate_dsa.h"
 
 namespace sd::compcpy {
+
+/**
+ * Bound on consecutive Force-Recycle rounds per call. A device whose
+ * freePages register keeps reading zero while nothing is pending (a
+ * stuck or lying register) would otherwise spin this loop forever;
+ * past the bound the engine proceeds optimistically — a genuinely
+ * full scratchpad then rejects the registration gracefully.
+ */
+constexpr unsigned kMaxRecycleAttempts = 8;
 
 /** Continuation state of one in-flight CompCpy. */
 struct CompCpyEngine::Flow
@@ -21,9 +32,18 @@ struct CompCpyEngine::Flow
     std::vector<std::uint8_t> line; ///< 64 B staging for the copy loop
     std::uint32_t span = 0;      ///< trace span id (0 = untraced)
     Tick begin = 0;              ///< start() tick for call latency
+    std::uint64_t degraded_base = 0; ///< degradedReads() at start
+    unsigned recycle_attempts = 0;   ///< Force-Recycle rounds so far
 
     Flow() : line(kCacheLineSize) {}
 };
+
+bool
+CompCpyEngine::injectFault(fault::Site site)
+{
+    return fault_plan_ && fault_plan_->armed(site) &&
+           fault_plan_->shouldInject(site);
+}
 
 std::size_t
 CompCpyEngine::destPages(const CompCpyParams &params)
@@ -51,6 +71,7 @@ CompCpyEngine::start(const CompCpyParams &params,
     flow->src_pages = divCeil(params.size, kPageSize);
     flow->dst_pages = destPages(params);
     flow->begin = memory_.events().now();
+    flow->degraded_base = memory_.degradedReads();
     ++stats_.calls;
     stats_.pages_offloaded += flow->dst_pages;
 
@@ -107,6 +128,13 @@ CompCpyEngine::checkFreePages(std::shared_ptr<Flow> flow)
             return;
         }
         // Unlikely path (Alg. 2 line 11): Force-Recycle.
+        if (++flow->recycle_attempts > kMaxRecycleAttempts) {
+            ++stats_.recycle_bailouts;
+            SD_TRACE_EVENT(flow->span, trace::Stage::kFault,
+                           memory_.events().now(), flow->params.dbuf);
+            flushSource(flow);
+            return;
+        }
         forceRecycle(flow, static_cast<std::size_t>(needed));
     });
 }
@@ -128,8 +156,13 @@ CompCpyEngine::forceRecycle(std::shared_ptr<Flow> flow,
         std::memcpy(words, reg->data(), sizeof(words));
         const std::size_t count =
             std::min<std::uint64_t>(words[0], 7);
-        const std::size_t to_free =
+        std::size_t to_free =
             std::min<std::size_t>(count, required_pages + 1);
+        // A degraded register read can hand back stale or zeroed
+        // bytes; only page-aligned non-zero entries are usable.
+        while (to_free > 0 &&
+               (words[to_free] == 0 || !isPageAligned(words[to_free])))
+            --to_free;
 
         if (to_free == 0) {
             // Nothing pending: the scratchpad will free as in-flight
@@ -255,12 +288,31 @@ CompCpyEngine::copyLines(std::shared_ptr<Flow> flow)
         return;
     }
 
-    const std::size_t window =
-        p.ordered ? 1 : std::min<std::size_t>(8, lines - flow->cursor);
+    // kOrderedFence: an injected violation issues one window of two
+    // lines in *reverse*, so the second line's rdCAS reaches the
+    // streaming DSA first — exactly the bug the fences prevent. The
+    // DSA poisons the job; the page never completes; the controller
+    // eventually degrades its reads and the call is flagged.
+    bool fence_violation = false;
+    std::size_t window;
+    if (p.ordered) {
+        fence_violation = lines - flow->cursor >= 2 &&
+                          injectFault(fault::Site::kOrderedFence);
+        window = fence_violation ? 2 : 1;
+        if (fence_violation) {
+            ++stats_.fence_violations;
+            SD_TRACE_EVENT(flow->span, trace::Stage::kFault,
+                           memory_.events().now(),
+                           p.sbuf + flow->cursor * kCacheLineSize);
+        }
+    } else {
+        window = std::min<std::size_t>(8, lines - flow->cursor);
+    }
 
     auto joined = std::make_shared<std::size_t>(window);
     for (std::size_t w = 0; w < window; ++w) {
-        const std::size_t line_index = flow->cursor + w;
+        const std::size_t issue = fence_violation ? window - 1 - w : w;
+        const std::size_t line_index = flow->cursor + issue;
         const Addr src = p.sbuf + line_index * kCacheLineSize;
         const Addr dst = p.dbuf + line_index * kCacheLineSize;
         auto staging = std::make_shared<
@@ -312,6 +364,39 @@ CompCpyEngine::zeroTrailer(std::shared_ptr<Flow> flow)
 void
 CompCpyEngine::finishFlow(const std::shared_ptr<Flow> &flow)
 {
+    if (!fault_plan_) {
+        completeFlow(flow, 0);
+        return;
+    }
+    // With a fault plan attached, poll the device's fault-status
+    // register so rejected registrations surface as a degraded call
+    // (the fault-free path issues no extra MMIO traffic).
+    auto reg = std::make_shared<std::array<std::uint8_t, kCacheLineSize>>();
+    memory_.mmioRead(driver_.mmio(smartdimm::MmioReg::kFaultStatus),
+                     reg->data(), [this, flow, reg](Tick) {
+        std::uint64_t rejected = 0;
+        std::memcpy(&rejected, reg->data(), sizeof(rejected));
+        const std::uint64_t fresh =
+            rejected >= seen_rejections_ ? rejected - seen_rejections_
+                                         : 0;
+        seen_rejections_ = std::max(seen_rejections_, rejected);
+        completeFlow(flow, fresh);
+    });
+}
+
+void
+CompCpyEngine::completeFlow(const std::shared_ptr<Flow> &flow,
+                            std::uint64_t fresh_rejections)
+{
+    const std::uint64_t degraded =
+        memory_.degradedReads() - flow->degraded_base;
+    stats_.rejected_registrations += fresh_rejections;
+    last_call_degraded_ = fresh_rejections > 0 || degraded > 0;
+    if (last_call_degraded_) {
+        ++stats_.degraded_calls;
+        SD_TRACE_EVENT(flow->span, trace::Stage::kFault,
+                       memory_.events().now(), flow->params.dbuf);
+    }
     call_latency_.sample(memory_.events().now() - flow->begin);
     flow->on_done();
 }
@@ -346,6 +431,14 @@ CompCpyEngine::reportStats(trace::StatsBlock &block) const
                  static_cast<double>(stats_.freepages_refreshes));
     block.scalar("lines_copied",
                  static_cast<double>(stats_.lines_copied));
+    block.scalar("degraded_calls",
+                 static_cast<double>(stats_.degraded_calls));
+    block.scalar("rejected_registrations",
+                 static_cast<double>(stats_.rejected_registrations));
+    block.scalar("recycle_bailouts",
+                 static_cast<double>(stats_.recycle_bailouts));
+    block.scalar("fence_violations",
+                 static_cast<double>(stats_.fence_violations));
     block.scalar("shared_lock_acquisitions",
                  static_cast<double>(shared_.lock_acquisitions));
     block.hist("call_latency_ticks", call_latency_);

@@ -21,6 +21,7 @@
 #include "common/stats.h"
 #include "common/types.h"
 #include "compcpy/driver.h"
+#include "fault/fault.h"
 #include "crypto/aes_gcm.h"
 #include "smartdimm/dsa.h"
 #include "smartdimm/mmio_layout.h"
@@ -52,6 +53,10 @@ struct CompCpyStats
     std::uint64_t force_recycles = 0;
     std::uint64_t freepages_refreshes = 0;
     std::uint64_t lines_copied = 0;
+    std::uint64_t degraded_calls = 0;    ///< kDegraded reads or rejections
+    std::uint64_t rejected_registrations = 0; ///< device-side rejections seen
+    std::uint64_t recycle_bailouts = 0;  ///< Force-Recycle loop bounded
+    std::uint64_t fence_violations = 0;  ///< injected ordered-mode breaks
 };
 
 /**
@@ -102,6 +107,23 @@ class CompCpyEngine
     /** Destination pages (incl. TLS trailer) a params needs. */
     static std::size_t destPages(const CompCpyParams &params);
 
+    /**
+     * Attach a fault plan (not owned; may be null). The engine itself
+     * consults kOrderedFence (an ordered-mode copy issues one window
+     * of two lines in reverse, breaking the fence contract); with any
+     * plan attached it additionally polls the device's kFaultStatus
+     * register at call completion so rejected registrations and
+     * degraded reads surface as degraded_calls.
+     */
+    void setFaultPlan(fault::FaultPlan *plan) { fault_plan_ = plan; }
+
+    /**
+     * Whether the most recently completed call was degraded (ALERT_N
+     * retry exhaustion or a rejected registration). The adaptive
+     * policy uses this to fall back to CPU placement.
+     */
+    bool lastCallDegraded() const { return last_call_degraded_; }
+
     const CompCpyStats &stats() const { return stats_; }
 
     /** Start-to-done latency distribution of completed calls (ticks). */
@@ -121,10 +143,16 @@ class CompCpyEngine
     void copyLines(std::shared_ptr<Flow> flow);
     void zeroTrailer(std::shared_ptr<Flow> flow);
     void finishFlow(const std::shared_ptr<Flow> &flow);
+    void completeFlow(const std::shared_ptr<Flow> &flow,
+                      std::uint64_t fresh_rejections);
+    bool injectFault(fault::Site site);
 
     cache::MemorySystem &memory_;
     Driver &driver_;
     SharedState &shared_;
+    fault::FaultPlan *fault_plan_ = nullptr;
+    std::uint64_t seen_rejections_ = 0; ///< kFaultStatus poll baseline
+    bool last_call_degraded_ = false;
     CompCpyStats stats_;
     LogHistogram call_latency_;
 };

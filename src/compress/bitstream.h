@@ -114,6 +114,22 @@ class BitReader
     /** @return true when no full byte and no buffered bits remain. */
     bool exhausted() const { return pos_ >= len_ && fill_ == 0; }
 
+    /** Bits still readable (buffered plus unread bytes). */
+    std::size_t bitsRemaining() const { return (len_ - pos_) * 8 + fill_; }
+
+    /**
+     * Non-panicking take for untrusted input: @return false (without
+     * consuming anything) when fewer than @p count bits remain.
+     */
+    bool
+    tryTake(unsigned count, std::uint32_t &out)
+    {
+        if (count > 32 || bitsRemaining() < count)
+            return false;
+        out = take(count);
+        return true;
+    }
+
   private:
     const std::uint8_t *data_;
     std::size_t len_;

@@ -311,18 +311,39 @@ deflateCompress(const std::uint8_t *data, std::size_t len,
 std::vector<std::uint8_t>
 deflateDecompress(const std::uint8_t *data, std::size_t len)
 {
+    auto out = deflateTryDecompress(data, len);
+    SD_ASSERT(out.has_value(), "malformed DEFLATE stream");
+    return std::move(*out);
+}
+
+std::optional<std::vector<std::uint8_t>>
+deflateTryDecompress(const std::uint8_t *data, std::size_t len,
+                     std::size_t max_out)
+{
     BitReader reader(data, len);
     std::vector<std::uint8_t> out;
 
     for (;;) {
-        const bool final_block = reader.takeBit() != 0;
-        const std::uint32_t btype = reader.take(2);
+        std::uint32_t header;
+        if (!reader.tryTake(3, header))
+            return std::nullopt;
+        const bool final_block = (header & 1) != 0;
+        const std::uint32_t btype = header >> 1;
+
+        if (btype == 0b11)
+            return std::nullopt; // reserved BTYPE
 
         if (btype == 0b00) {
             reader.alignByte();
-            const std::uint32_t n = reader.take(16);
-            const std::uint32_t nlen = reader.take(16);
-            SD_ASSERT((n ^ nlen) == 0xffff, "stored block LEN mismatch");
+            std::uint32_t n;
+            std::uint32_t nlen;
+            if (!reader.tryTake(16, n) || !reader.tryTake(16, nlen))
+                return std::nullopt;
+            if ((n ^ nlen) != 0xffff)
+                return std::nullopt;
+            if (reader.bitsRemaining() < static_cast<std::size_t>(n) * 8 ||
+                out.size() + n > max_out)
+                return std::nullopt;
             for (std::uint32_t i = 0; i < n; ++i)
                 out.push_back(static_cast<std::uint8_t>(reader.take(8)));
         } else {
@@ -332,33 +353,53 @@ deflateDecompress(const std::uint8_t *data, std::size_t len)
                 lit_lengths = fixedLitLenLengths();
                 dist_lengths = fixedDistLengths();
             } else {
-                SD_ASSERT(btype == 0b10, "reserved BTYPE");
-                const std::size_t hlit = reader.take(5) + 257;
-                const std::size_t hdist = reader.take(5) + 1;
-                const std::size_t hclen = reader.take(4) + 4;
+                std::uint32_t raw_hlit;
+                std::uint32_t raw_hdist;
+                std::uint32_t raw_hclen;
+                if (!reader.tryTake(5, raw_hlit) ||
+                    !reader.tryTake(5, raw_hdist) ||
+                    !reader.tryTake(4, raw_hclen))
+                    return std::nullopt;
+                const std::size_t hlit = raw_hlit + 257;
+                const std::size_t hdist = raw_hdist + 1;
+                const std::size_t hclen = raw_hclen + 4;
+                if (hlit > kNumLitLen || hdist > kNumDist)
+                    return std::nullopt;
                 std::vector<std::uint8_t> cl_lengths(19, 0);
-                for (std::size_t i = 0; i < hclen; ++i)
+                for (std::size_t i = 0; i < hclen; ++i) {
+                    std::uint32_t bits;
+                    if (!reader.tryTake(3, bits))
+                        return std::nullopt;
                     cl_lengths[kClOrder[i]] =
-                        static_cast<std::uint8_t>(reader.take(3));
+                        static_cast<std::uint8_t>(bits);
+                }
                 HuffmanDecoder cl_decoder(cl_lengths);
 
                 std::vector<std::uint8_t> all;
                 while (all.size() < hlit + hdist) {
-                    const std::uint16_t sym = cl_decoder.decode(reader);
-                    if (sym < 16) {
-                        all.push_back(static_cast<std::uint8_t>(sym));
-                    } else if (sym == 16) {
-                        SD_ASSERT(!all.empty(), "repeat with no prior");
-                        const std::uint32_t n = 3 + reader.take(2);
-                        all.insert(all.end(), n, all.back());
-                    } else if (sym == 17) {
-                        const std::uint32_t n = 3 + reader.take(3);
-                        all.insert(all.end(), n, 0);
+                    const auto sym = cl_decoder.tryDecode(reader);
+                    if (!sym)
+                        return std::nullopt;
+                    std::uint32_t n;
+                    if (*sym < 16) {
+                        all.push_back(static_cast<std::uint8_t>(*sym));
+                    } else if (*sym == 16) {
+                        if (all.empty() || !reader.tryTake(2, n))
+                            return std::nullopt;
+                        all.insert(all.end(), 3 + n, all.back());
+                    } else if (*sym == 17) {
+                        if (!reader.tryTake(3, n))
+                            return std::nullopt;
+                        all.insert(all.end(), 3 + n, 0);
                     } else {
-                        const std::uint32_t n = 11 + reader.take(7);
-                        all.insert(all.end(), n, 0);
+                        if (!reader.tryTake(7, n))
+                            return std::nullopt;
+                        all.insert(all.end(), 11 + n, 0);
                     }
                 }
+                // A repeat run may not spill past the declared counts.
+                if (all.size() != hlit + hdist)
+                    return std::nullopt;
                 lit_lengths.assign(all.begin(),
                                    all.begin() + static_cast<long>(hlit));
                 lit_lengths.resize(kNumLitLen, 0);
@@ -371,24 +412,34 @@ deflateDecompress(const std::uint8_t *data, std::size_t len)
             HuffmanDecoder dist_decoder(dist_lengths);
 
             for (;;) {
-                const std::uint16_t sym = lit_decoder.decode(reader);
-                if (sym == kEndOfBlock)
+                const auto sym = lit_decoder.tryDecode(reader);
+                if (!sym)
+                    return std::nullopt;
+                if (*sym == kEndOfBlock)
                     break;
-                if (sym < 256) {
-                    out.push_back(static_cast<std::uint8_t>(sym));
+                if (*sym < 256) {
+                    if (out.size() >= max_out)
+                        return std::nullopt;
+                    out.push_back(static_cast<std::uint8_t>(*sym));
                     continue;
                 }
-                const unsigned lci = sym - 257;
-                SD_ASSERT(lci < 29, "invalid length code");
+                const unsigned lci = *sym - 257;
+                if (lci >= 29)
+                    return std::nullopt;
+                std::uint32_t extra;
+                if (!reader.tryTake(kLengthCodes[lci].extra, extra))
+                    return std::nullopt;
                 const std::size_t match_len =
-                    kLengthCodes[lci].base +
-                    reader.take(kLengthCodes[lci].extra);
-                const std::uint16_t dsym = dist_decoder.decode(reader);
-                SD_ASSERT(dsym < 30, "invalid distance code");
-                const std::size_t dist =
-                    kDistCodes[dsym].base +
-                    reader.take(kDistCodes[dsym].extra);
-                SD_ASSERT(dist <= out.size(), "distance beyond history");
+                    kLengthCodes[lci].base + extra;
+                const auto dsym = dist_decoder.tryDecode(reader);
+                if (!dsym || *dsym >= 30)
+                    return std::nullopt;
+                if (!reader.tryTake(kDistCodes[*dsym].extra, extra))
+                    return std::nullopt;
+                const std::size_t dist = kDistCodes[*dsym].base + extra;
+                if (dist > out.size() ||
+                    out.size() + match_len > max_out)
+                    return std::nullopt;
                 const std::size_t start = out.size() - dist;
                 for (std::size_t i = 0; i < match_len; ++i)
                     out.push_back(out[start + i]);

@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "compress/lz77.h"
@@ -65,6 +66,18 @@ std::vector<std::uint8_t> deflateEncodeTokens(
  */
 std::vector<std::uint8_t> deflateDecompress(const std::uint8_t *data,
                                             std::size_t len);
+
+/**
+ * Non-panicking decompression for untrusted input: every structural
+ * violation (truncation, reserved block type, LEN/NLEN mismatch,
+ * invalid Huffman codes, out-of-range length/distance symbols,
+ * references beyond history) returns nullopt instead of aborting.
+ * @param max_out output byte cap; streams expanding past it are
+ *        rejected (decompression-bomb guard).
+ */
+std::optional<std::vector<std::uint8_t>> deflateTryDecompress(
+    const std::uint8_t *data, std::size_t len,
+    std::size_t max_out = SIZE_MAX);
 
 } // namespace sd::compress
 

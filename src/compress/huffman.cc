@@ -195,9 +195,22 @@ std::uint16_t
 HuffmanDecoder::decode(BitReader &reader) const
 {
     SD_ASSERT(valid_, "decoding with an empty Huffman table");
+    const auto sym = tryDecode(reader);
+    SD_ASSERT(sym.has_value(), "invalid Huffman code in bitstream");
+    return *sym;
+}
+
+std::optional<std::uint16_t>
+HuffmanDecoder::tryDecode(BitReader &reader) const
+{
+    if (!valid_)
+        return std::nullopt;
     std::uint32_t code = 0;
     for (unsigned l = 1; l <= max_len_; ++l) {
-        code = (code << 1) | reader.takeBit();
+        std::uint32_t bit;
+        if (!reader.tryTake(1, bit))
+            return std::nullopt;
+        code = (code << 1) | bit;
         const std::uint32_t first = first_code_[l];
         const std::uint32_t index = first_index_[l];
         const std::uint32_t count =
@@ -207,7 +220,7 @@ HuffmanDecoder::decode(BitReader &reader) const
         if (count > 0 && code >= first && code < first + count)
             return sorted_symbols_[index + (code - first)];
     }
-    SD_PANIC("invalid Huffman code in bitstream");
+    return std::nullopt;
 }
 
 } // namespace sd::compress

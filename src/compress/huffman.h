@@ -9,6 +9,7 @@
 #define SD_COMPRESS_HUFFMAN_H
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "compress/bitstream.h"
@@ -47,8 +48,14 @@ class HuffmanDecoder
     /** Build from the same code lengths the encoder used. */
     explicit HuffmanDecoder(const std::vector<std::uint8_t> &lengths);
 
-    /** Decode one symbol from @p reader. */
+    /** Decode one symbol from @p reader. Panics on malformed input. */
     std::uint16_t decode(BitReader &reader) const;
+
+    /**
+     * Non-panicking decode for untrusted input: nullopt when the code
+     * is not in the table or the bitstream runs out of bits.
+     */
+    std::optional<std::uint16_t> tryDecode(BitReader &reader) const;
 
     /** @return true if at least one symbol has a code. */
     bool valid() const { return valid_; }

@@ -1,0 +1,165 @@
+#include "fault/fault.h"
+
+#include <array>
+#include <cstdlib>
+
+#include "common/log.h"
+
+namespace sd::fault {
+
+namespace {
+
+constexpr std::size_t kSiteCount = static_cast<std::size_t>(Site::kCount);
+
+constexpr std::array<const char *, kSiteCount> kSiteNames = {
+    "alert_storm",        "write_drain_delay", "free_pages_lie",
+    "scratchpad_exhaust", "config_mem_exhaust", "cuckoo_conflict",
+    "cuckoo_insert_fail", "net_loss",          "net_reorder",
+    "ordered_fence",
+};
+
+} // namespace
+
+const char *
+siteName(Site site)
+{
+    const auto i = static_cast<std::size_t>(site);
+    return i < kSiteNames.size() ? kSiteNames[i] : "?";
+}
+
+std::optional<Site>
+siteFromName(const std::string &name)
+{
+    for (std::size_t i = 0; i < kSiteNames.size(); ++i)
+        if (name == kSiteNames[i])
+            return static_cast<Site>(i);
+    return std::nullopt;
+}
+
+void
+FaultPlan::add(const FaultRule &rule)
+{
+    SD_ASSERT(rule.site < Site::kCount, "fault rule with invalid site");
+    SD_ASSERT(rule.probability >= 0.0 && rule.probability <= 1.0,
+              "fault probability out of [0,1]");
+    sites_[static_cast<std::size_t>(rule.site)].rules.push_back(
+        RuleState{rule, 0});
+}
+
+bool
+FaultPlan::armed(Site site) const
+{
+    return !sites_[static_cast<std::size_t>(site)].rules.empty();
+}
+
+bool
+FaultPlan::shouldInject(Site site)
+{
+    SiteState &state = sites_[static_cast<std::size_t>(site)];
+    if (state.rules.empty())
+        return false;
+    const std::uint64_t index = state.triggers++;
+    for (RuleState &rs : state.rules) {
+        if (index < rs.rule.skip || rs.fired >= rs.rule.count)
+            continue;
+        // The RNG advances only here, so inert rules never perturb
+        // another rule's random stream (determinism contract).
+        if (rs.rule.probability < 1.0 &&
+            !rng_.chance(rs.rule.probability))
+            return false;
+        ++rs.fired;
+        ++state.injected;
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+FaultPlan::triggers(Site site) const
+{
+    return sites_[static_cast<std::size_t>(site)].triggers;
+}
+
+std::uint64_t
+FaultPlan::injected(Site site) const
+{
+    return sites_[static_cast<std::size_t>(site)].injected;
+}
+
+std::uint64_t
+FaultPlan::totalInjected() const
+{
+    std::uint64_t total = 0;
+    for (const SiteState &state : sites_)
+        total += state.injected;
+    return total;
+}
+
+std::optional<FaultPlan>
+FaultPlan::fromSpec(const std::string &spec, std::uint64_t seed)
+{
+    FaultPlan plan(seed);
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        const std::size_t end = std::min(spec.find(',', pos), spec.size());
+        std::string item = spec.substr(pos, end - pos);
+        pos = end + 1;
+        if (item.empty())
+            continue;
+
+        // First ':'-field is the site name; the rest are key=value.
+        const std::size_t name_end = std::min(item.find(':'), item.size());
+        const auto site = siteFromName(item.substr(0, name_end));
+        if (!site)
+            return std::nullopt;
+        FaultRule rule;
+        rule.site = *site;
+
+        std::size_t fpos = name_end;
+        while (fpos < item.size()) {
+            ++fpos; // skip ':'
+            const std::size_t fend =
+                std::min(item.find(':', fpos), item.size());
+            const std::string field = item.substr(fpos, fend - fpos);
+            fpos = fend;
+            const std::size_t eq = field.find('=');
+            if (eq == std::string::npos)
+                return std::nullopt;
+            const std::string key = field.substr(0, eq);
+            const std::string value = field.substr(eq + 1);
+            char *parse_end = nullptr;
+            if (key == "skip") {
+                rule.skip = std::strtoull(value.c_str(), &parse_end, 0);
+            } else if (key == "count") {
+                rule.count = std::strtoull(value.c_str(), &parse_end, 0);
+            } else if (key == "p") {
+                rule.probability = std::strtod(value.c_str(), &parse_end);
+                if (rule.probability < 0.0 || rule.probability > 1.0)
+                    return std::nullopt;
+            } else {
+                return std::nullopt;
+            }
+            if (value.empty() || parse_end != value.c_str() + value.size())
+                return std::nullopt;
+        }
+        plan.add(rule);
+    }
+    return plan;
+}
+
+void
+FaultPlan::reportStats(trace::StatsBlock &block) const
+{
+    for (std::size_t i = 0; i < kSiteCount; ++i) {
+        const SiteState &state = sites_[i];
+        if (state.rules.empty() && state.triggers == 0)
+            continue;
+        const std::string prefix(kSiteNames[i]);
+        block.scalar(prefix + ".triggers",
+                     static_cast<double>(state.triggers));
+        block.scalar(prefix + ".injected",
+                     static_cast<double>(state.injected));
+    }
+}
+
+} // namespace sd::fault

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Deterministic fault-injection registry (the chaos layer of the
+ * recovery-path test harness). A FaultPlan is a list of rules, each
+ * naming an injection *site* — a point in a component where a rare
+ * hardware/software failure can be forced — plus a trigger window
+ * (skip/count) and an optional per-trigger probability drawn from the
+ * shared sd::Rng.
+ *
+ * Determinism contract: a plan's decisions are a pure function of
+ * (seed, rule list, trigger sequence). Components call shouldInject()
+ * from event-queue callbacks only, and the event queue orders
+ * callbacks deterministically, so a run with the same seed and the
+ * same workload replays bit-identically — including every injected
+ * fault. The RNG is consumed *only* for rules with probability < 1 on
+ * armed, non-exhausted triggers, so adding an inert rule never
+ * perturbs another rule's stream.
+ *
+ * Components hold a `FaultPlan *` that defaults to nullptr; the null
+ * check is the only cost on the fault-free fast path, and a run
+ * without a plan is byte-identical to a build without this layer.
+ */
+
+#ifndef SD_FAULT_FAULT_H
+#define SD_FAULT_FAULT_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "trace/trace.h"
+
+namespace sd::fault {
+
+/** Injection sites threaded through the recovery-capable layers. */
+enum class Site : std::uint8_t
+{
+    kAlertStorm = 0,    ///< mem: spurious ALERT_N on a good rdCAS (S13 storm)
+    kWriteDrainDelay,   ///< mem: postpone entry into write-drain mode
+    kFreePagesLie,      ///< smartdimm: freePages MMIO read reports zero
+    kScratchpadExhaust, ///< smartdimm: registration page allocate fails
+    kConfigMemExhaust,  ///< smartdimm: config-memory slot allocate fails
+    kCuckooConflict,    ///< smartdimm: direct insert forced to displace
+    kCuckooInsertFail,  ///< smartdimm: insert reports table failure
+    kNetLoss,           ///< net: scripted segment drop episode
+    kNetReorder,        ///< net: scripted segment reorder
+    kOrderedFence,      ///< compcpy: ordered-mode fence elided for a window
+    kCount,
+};
+
+/** Stable short name (used in specs, stats dumps and test output). */
+const char *siteName(Site site);
+
+/** Inverse of siteName(). @return nullopt for unknown names. */
+std::optional<Site> siteFromName(const std::string &name);
+
+/**
+ * One injection rule. A site may carry several rules; the first armed,
+ * non-exhausted rule decides each trigger.
+ */
+struct FaultRule
+{
+    Site site = Site::kCount;
+    std::uint64_t skip = 0;   ///< ignore the first N triggers at the site
+    std::uint64_t count = ~0ULL; ///< fire at most this many times
+    double probability = 1.0; ///< per-trigger chance once armed
+};
+
+/**
+ * A seeded, deterministic fault plan. Thread through components with
+ * setFaultPlan(); a default-constructed plan (or nullptr) injects
+ * nothing.
+ */
+class FaultPlan
+{
+  public:
+    FaultPlan() = default;
+    explicit FaultPlan(std::uint64_t seed) : rng_(seed) {}
+
+    /** Append a rule. Rules at the same site evaluate in add order. */
+    void add(const FaultRule &rule);
+
+    /** Convenience: add {site, skip, count, probability}. */
+    void
+    add(Site site, std::uint64_t skip = 0, std::uint64_t count = ~0ULL,
+        double probability = 1.0)
+    {
+        add(FaultRule{site, skip, count, probability});
+    }
+
+    /** @return true when at least one rule targets @p site. */
+    bool armed(Site site) const;
+
+    /**
+     * Called by a component at an injection site. Counts the trigger
+     * and decides — deterministically — whether to inject the fault.
+     */
+    bool shouldInject(Site site);
+
+    /** Triggers seen at @p site (fault-free visits included). */
+    std::uint64_t triggers(Site site) const;
+
+    /** Faults actually injected at @p site. */
+    std::uint64_t injected(Site site) const;
+
+    /** Sum of injected() over all sites. */
+    std::uint64_t totalInjected() const;
+
+    /**
+     * Parse a plan spec: comma-separated rules of the form
+     *   site[:skip=N][:count=M][:p=F]
+     * e.g. "alert_storm:count=10:p=0.5,free_pages_lie:count=2".
+     * This is the format of the SD_FAULT_PLAN env knob the test
+     * harnesses accept. @return nullopt on malformed input.
+     */
+    static std::optional<FaultPlan> fromSpec(const std::string &spec,
+                                             std::uint64_t seed);
+
+    /** Contribute per-site trigger/injected counters to a dump. */
+    void reportStats(trace::StatsBlock &block) const;
+
+  private:
+    struct RuleState
+    {
+        FaultRule rule;
+        std::uint64_t fired = 0;
+    };
+
+    struct SiteState
+    {
+        std::vector<RuleState> rules;
+        std::uint64_t triggers = 0;
+        std::uint64_t injected = 0;
+    };
+
+    Rng rng_;
+    SiteState sites_[static_cast<std::size_t>(Site::kCount)];
+};
+
+} // namespace sd::fault
+
+#endif // SD_FAULT_FAULT_H

@@ -58,6 +58,17 @@ struct ControllerConfig
     unsigned write_queue_depth = 64;
     unsigned write_high_watermark = 48; ///< enter write-drain mode
     unsigned write_low_watermark = 16;  ///< leave write-drain mode
+
+    // ALERT_N retry policy. Retries up to `alert_fast_retries` requeue
+    // immediately (the common S13 case resolves within a few rdCAS
+    // round trips); past that each requeue backs off exponentially so a
+    // wedged DSA cannot monopolise the channel; at `alert_max_retries`
+    // the read completes with MemStatus::kDegraded instead of aborting
+    // the simulation.
+    unsigned alert_fast_retries = 8;
+    unsigned alert_max_retries = 64;
+    Cycles alert_backoff_base = 64;   ///< first backoff (command clocks)
+    Cycles alert_backoff_cap = 8192;  ///< backoff ceiling
 };
 
 /** How physical addresses spread across channels. */

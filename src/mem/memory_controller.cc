@@ -120,6 +120,12 @@ MemoryController::reportStats(trace::StatsBlock &block) const
                  static_cast<double>(stats_.row_conflicts));
     block.scalar("alert_retries",
                  static_cast<double>(stats_.alert_retries));
+    block.scalar("spurious_alerts",
+                 static_cast<double>(stats_.spurious_alerts));
+    block.scalar("alert_backoffs",
+                 static_cast<double>(stats_.alert_backoffs));
+    block.scalar("degraded_reads",
+                 static_cast<double>(stats_.degraded_reads));
     block.scalar("turnarounds", static_cast<double>(stats_.turnarounds));
     block.scalar("bytes_moved", static_cast<double>(stats_.bytesMoved()));
     block.scalar("bus_busy_cycles",
@@ -214,7 +220,7 @@ MemoryController::issueRequest(std::deque<Request> &queue,
         events_.schedule(data_end, [this, cmd, data, cb] {
             dimm_.onWrite(cmd, data->data());
             if (cb)
-                cb(events_.now());
+                cb(events_.now(), MemStatus::kOk);
         });
     } else {
         emit(DdrCommandType::kReadCas, done, cas_at);
@@ -233,24 +239,22 @@ MemoryController::issueRequest(std::deque<Request> &queue,
             const ReadResponse resp = dimm_.onRead(cmd, read_data);
             if (resp == ReadResponse::kAlertN) {
                 // S13: device asserted ALERT_N — requeue the rdCAS.
-                ++stats_.alert_retries;
-                Request retry;
-                retry.addr = cmd.addr;
-                retry.coord = cmd.coord;
-                retry.read_data = read_data;
-                retry.cb = cb;
-                retry.enqueued = enq; // latency spans all retries
-                retry.retries = retries + 1;
-                SD_ASSERT(retry.retries < 64,
-                          "rdCAS retried 64 times — DSA wedged?");
-                read_q_.push_back(std::move(retry));
-                kick();
+                retryAlert(cmd, read_data, cb, retries, enq,
+                           /*spurious=*/false);
+                return;
+            }
+            if (fault_plan_ && fault_plan_->armed(fault::Site::kAlertStorm)
+                && fault_plan_->shouldInject(fault::Site::kAlertStorm)) {
+                // Injected storm: treat the good read as if the device
+                // had asserted ALERT_N (data is discarded and re-read).
+                retryAlert(cmd, read_data, cb, retries, enq,
+                           /*spurious=*/true);
                 return;
             }
             ++stats_.reads;
             read_latency_.sample(events_.now() - enq);
             if (cb)
-                cb(events_.now());
+                cb(events_.now(), MemStatus::kOk);
         });
         // Count the read at issue for scheduling purposes: stats_.reads
         // is incremented at completion above; nothing else here.
@@ -259,13 +263,82 @@ MemoryController::issueRequest(std::deque<Request> &queue,
 }
 
 void
+MemoryController::retryAlert(const DdrCommand &cmd, std::uint8_t *read_data,
+                             const MemCallback &cb, unsigned retries,
+                             Tick enq, bool spurious)
+{
+    ++stats_.alert_retries;
+    if (spurious) {
+        ++stats_.spurious_alerts;
+        SD_TRACE_FAULT_EVENT(cmd.addr / kPageSize, events_.now(), cmd.addr);
+    }
+
+    const unsigned attempt = retries + 1;
+    if (attempt >= config_.alert_max_retries) {
+        // Retry budget exhausted: hand the (possibly stale) line back
+        // as degraded instead of wedging the channel. The host stack
+        // decides how to recover (Sec. IV-D's fallback path).
+        ++stats_.degraded_reads;
+        SD_TRACE_FAULT_EVENT(cmd.addr / kPageSize, events_.now(), cmd.addr);
+        ++stats_.reads;
+        read_latency_.sample(events_.now() - enq);
+        if (cb)
+            cb(events_.now(), MemStatus::kDegraded);
+        return;
+    }
+
+    Request retry;
+    retry.addr = cmd.addr;
+    retry.coord = cmd.coord;
+    retry.read_data = read_data;
+    retry.cb = cb;
+    retry.enqueued = enq; // latency spans all retries
+    retry.retries = attempt;
+
+    if (attempt <= config_.alert_fast_retries) {
+        read_q_.push_back(std::move(retry));
+        kick();
+        return;
+    }
+
+    // Exponential backoff past the fast window, capped so a long storm
+    // stays polling rather than effectively parked.
+    ++stats_.alert_backoffs;
+    const unsigned excess = attempt - config_.alert_fast_retries - 1;
+    const unsigned shift = std::min(excess, 20u);
+    const Cycles backoff = std::min(config_.alert_backoff_base << shift,
+                                    config_.alert_backoff_cap);
+    auto shared = std::make_shared<Request>(std::move(retry));
+    events_.schedule(events_.now() + backoff * clock_.period(),
+                     [this, shared] {
+        read_q_.push_back(std::move(*shared));
+        kick();
+    });
+}
+
+void
+MemoryController::updateWriteDrain()
+{
+    if (write_q_.size() >= config_.write_high_watermark) {
+        // kWriteDrainDelay: suppress the drain transition this pass so
+        // the write queue keeps backing up (exercises queue-pressure
+        // paths above the high watermark).
+        const bool delayed =
+            !write_drain_ && fault_plan_ &&
+            fault_plan_->armed(fault::Site::kWriteDrainDelay) &&
+            fault_plan_->shouldInject(fault::Site::kWriteDrainDelay);
+        if (!delayed)
+            write_drain_ = true;
+    }
+    if (write_q_.size() <= config_.write_low_watermark)
+        write_drain_ = false;
+}
+
+void
 MemoryController::schedulePass()
 {
     // Drain-mode hysteresis (write batching).
-    if (write_q_.size() >= config_.write_high_watermark)
-        write_drain_ = true;
-    if (write_q_.size() <= config_.write_low_watermark)
-        write_drain_ = false;
+    updateWriteDrain();
 
     for (;;) {
         const bool service_writes =
@@ -277,10 +350,7 @@ MemoryController::schedulePass()
         if (!issueRequest(queue, index, service_writes))
             return; // waiting on a bank/bus event already scheduled
         // Keep issuing while commands fit at the current tick.
-        if (write_q_.size() >= config_.write_high_watermark)
-            write_drain_ = true;
-        if (write_q_.size() <= config_.write_low_watermark)
-            write_drain_ = false;
+        updateWriteDrain();
     }
 }
 

@@ -17,6 +17,7 @@
 
 #include "common/stats.h"
 #include "common/types.h"
+#include "fault/fault.h"
 #include "mem/address_map.h"
 #include "mem/dram_command.h"
 #include "sim/clock.h"
@@ -25,8 +26,20 @@
 
 namespace sd::mem {
 
-/** Completion callback carrying the tick the data burst finished. */
-using MemCallback = std::function<void(Tick)>;
+/**
+ * How a request completed. kDegraded marks a read that exhausted its
+ * ALERT_N retry budget: the data buffer may hold stale bytes, and the
+ * host stack is expected to fall back (e.g. CPU placement) rather than
+ * trust the line.
+ */
+enum class MemStatus : std::uint8_t
+{
+    kOk,
+    kDegraded,
+};
+
+/** Completion callback: tick the data burst finished, plus status. */
+using MemCallback = std::function<void(Tick, MemStatus)>;
 
 /** Controller statistics. */
 struct ControllerStats
@@ -37,6 +50,9 @@ struct ControllerStats
     std::uint64_t row_misses = 0;   ///< row closed: ACT needed
     std::uint64_t row_conflicts = 0; ///< other row open: PRE + ACT
     std::uint64_t alert_retries = 0;
+    std::uint64_t spurious_alerts = 0; ///< fault-injected ALERT_N storms
+    std::uint64_t alert_backoffs = 0;  ///< retries past the fast window
+    std::uint64_t degraded_reads = 0;  ///< retry budget exhausted
     std::uint64_t turnarounds = 0;
 
     std::uint64_t
@@ -76,6 +92,14 @@ class MemoryController
     /** Attach a command-trace observer (may be null). */
     void setObserver(CommandObserver *observer) { observer_ = observer; }
 
+    /**
+     * Attach a fault plan (may be null; not owned). Sites consulted:
+     * kAlertStorm (a completing read is turned into a spurious ALERT_N
+     * requeue) and kWriteDrainDelay (entering write-drain mode is
+     * suppressed for one scheduler pass).
+     */
+    void setFaultPlan(fault::FaultPlan *plan) { fault_plan_ = plan; }
+
     /** @return pending request count (both queues + in flight). */
     std::size_t pending() const { return read_q_.size() + write_q_.size(); }
 
@@ -114,6 +138,10 @@ class MemoryController
     };
 
     void kick();           ///< schedule a scheduler pass if needed
+    void retryAlert(const DdrCommand &cmd, std::uint8_t *read_data,
+                    const MemCallback &cb, unsigned retries, Tick enq,
+                    bool spurious);
+    void updateWriteDrain(); ///< watermark hysteresis + injected delay
     void schedulePass();   ///< pick and issue the next command
     bool issueRequest(std::deque<Request> &queue, std::size_t index,
                       bool is_write);
@@ -127,6 +155,7 @@ class MemoryController
     unsigned channel_;
     DimmDevice &dimm_;
     CommandObserver *observer_ = nullptr;
+    fault::FaultPlan *fault_plan_ = nullptr;
     ClockDomain clock_{625}; // DDR4-3200 command clock
 
     std::deque<Request> read_q_;

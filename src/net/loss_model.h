@@ -9,6 +9,7 @@
 #define SD_NET_LOSS_MODEL_H
 
 #include "common/random.h"
+#include "fault/fault.h"
 
 namespace sd::net {
 
@@ -29,12 +30,27 @@ class LossInjector
     {
     }
 
+    /**
+     * Attach a fault plan (not owned; may be null). kNetLoss scripts a
+     * burst-loss episode and kNetReorder a reorder event, each on top
+     * of (and independent of) the Bernoulli streams — the plan owns
+     * its own RNG, so arming it never perturbs the base loss pattern.
+     */
+    void setFaultPlan(fault::FaultPlan *plan) { fault_plan_ = plan; }
+
     /** @return true when this segment should be dropped. */
     bool
     shouldDrop()
     {
         if (burst_remaining_ > 0) {
             --burst_remaining_;
+            ++drops_;
+            return true;
+        }
+        if (fault_plan_ && fault_plan_->armed(fault::Site::kNetLoss) &&
+            fault_plan_->shouldInject(fault::Site::kNetLoss)) {
+            burst_remaining_ = config_.burst_len - 1;
+            ++scripted_drops_;
             ++drops_;
             return true;
         }
@@ -50,6 +66,12 @@ class LossInjector
     bool
     shouldReorder()
     {
+        if (fault_plan_ && fault_plan_->armed(fault::Site::kNetReorder) &&
+            fault_plan_->shouldInject(fault::Site::kNetReorder)) {
+            ++scripted_reorders_;
+            ++reorders_;
+            return true;
+        }
         const bool reorder = rng_.chance(config_.reorder_prob);
         reorders_ += reorder;
         return reorder;
@@ -57,13 +79,18 @@ class LossInjector
 
     std::uint64_t drops() const { return drops_; }
     std::uint64_t reorders() const { return reorders_; }
+    std::uint64_t scriptedDrops() const { return scripted_drops_; }
+    std::uint64_t scriptedReorders() const { return scripted_reorders_; }
 
   private:
     LossConfig config_;
     Rng rng_;
+    fault::FaultPlan *fault_plan_ = nullptr;
     unsigned burst_remaining_ = 0;
     std::uint64_t drops_ = 0;
     std::uint64_t reorders_ = 0;
+    std::uint64_t scripted_drops_ = 0;
+    std::uint64_t scripted_reorders_ = 0;
 };
 
 } // namespace sd::net

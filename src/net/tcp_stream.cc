@@ -8,10 +8,12 @@ namespace sd::net {
 
 TcpTransferResult
 tcpTransfer(std::size_t bytes, const TcpConfig &config,
-            const LossConfig &loss, std::uint64_t seed)
+            const LossConfig &loss, std::uint64_t seed,
+            fault::FaultPlan *fault_plan)
 {
     SD_ASSERT(bytes > 0, "empty transfer");
     LossInjector injector(loss, seed);
+    injector.setFaultPlan(fault_plan);
 
     TcpTransferResult result;
     const double rtt_s = config.rtt_us * 1e-6;

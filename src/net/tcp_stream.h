@@ -56,7 +56,8 @@ struct TcpTransferResult
  */
 TcpTransferResult tcpTransfer(std::size_t bytes, const TcpConfig &config,
                               const LossConfig &loss,
-                              std::uint64_t seed = 1);
+                              std::uint64_t seed = 1,
+                              fault::FaultPlan *fault_plan = nullptr);
 
 } // namespace sd::net
 

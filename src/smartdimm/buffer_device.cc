@@ -42,6 +42,23 @@ BufferDevice::onCommand(const mem::DdrCommand &cmd)
     bank_table_.onCommand(cmd);
 }
 
+bool
+BufferDevice::injectFault(fault::Site site)
+{
+    return fault_plan_ && fault_plan_->armed(site) &&
+           fault_plan_->shouldInject(site);
+}
+
+void
+BufferDevice::rejectRegistration(std::uint64_t dbuf_page)
+{
+    // Graceful rejection: no mapping installs, so the registered pages
+    // behave as plain DRAM. The host polls kFaultStatus and treats the
+    // affected CompCpy as degraded instead of trusting a raw copy.
+    ++stats_.rejected_registrations;
+    SD_TRACE_FAULT_EVENT(dbuf_page, events_.now(), dbuf_page * kPageSize);
+}
+
 void
 BufferDevice::handleMmioRead(Addr addr, std::uint8_t *data)
 {
@@ -50,8 +67,23 @@ BufferDevice::handleMmioRead(Addr addr, std::uint8_t *data)
     const Addr off = addr - config_.mmio_base;
     switch (static_cast<MmioReg>(off)) {
       case MmioReg::kFreePages: {
-        const std::uint64_t free = scratchpad_.freePages();
+        std::uint64_t free = scratchpad_.freePages();
+        if (injectFault(fault::Site::kFreePagesLie)) {
+            // Lie low: claiming exhaustion drives the software down
+            // Alg. 1's Force-Recycle path, which a fault-free run of a
+            // small workload would rarely exercise.
+            free = 0;
+            ++stats_.freepages_lies;
+            SD_TRACE_FAULT_EVENT(addr / kPageSize, events_.now(), addr);
+        }
         std::memcpy(data, &free, sizeof(free));
+        break;
+      }
+      case MmioReg::kFaultStatus: {
+        std::uint64_t words[8] = {};
+        words[0] = stats_.rejected_registrations;
+        words[1] = stats_.freepages_lies;
+        std::memcpy(data, words, sizeof(words));
         break;
       }
       case MmioReg::kPendingList: {
@@ -79,8 +111,43 @@ BufferDevice::registerTls(const std::uint8_t *data)
     const auto reg = TlsPageRegistration::unpack(data);
     SD_ASSERT(reg.message_len > 0, "TLS registration with empty record");
 
+    // sbuf_page == dbuf_page marks a tag-only trailer page: the
+    // record filled its last payload page exactly, so the tag spills
+    // into a destination page with no matching source page.
+    const bool tag_only = reg.sbuf_page == reg.dbuf_page;
+
+    // Acquire every resource before mutating any map, so a rejection
+    // (genuine exhaustion after a stale freePages read, or an injected
+    // fault) unwinds to the pre-registration state.
+    std::optional<std::uint32_t> scratch;
+    if (!injectFault(fault::Site::kScratchpadExhaust))
+        scratch = scratchpad_.allocate();
+    if (!scratch) {
+        rejectRegistration(reg.dbuf_page);
+        return;
+    }
+
+    std::uint32_t slot_id = 0;
+    if (!tag_only) {
+        // Config Memory slot holds the shipped context (key material,
+        // IV; H powers are derived inside the DSA model).
+        std::optional<std::uint32_t> slot;
+        if (!injectFault(fault::Site::kConfigMemExhaust))
+            slot = config_memory_.allocate();
+        if (!slot) {
+            scratchpad_.release(*scratch);
+            rejectRegistration(reg.dbuf_page);
+            return;
+        }
+        slot_id = *slot;
+        config_memory_.write(slot_id, 0, reg.key, sizeof(reg.key));
+        config_memory_.write(slot_id, sizeof(reg.key), reg.iv,
+                             sizeof(reg.iv));
+    }
+
     // Shared per-message state (partial tag + H-power table).
     auto &state = message_states_[reg.message_id];
+    const bool fresh_state = !state;
     if (!state)
         state = std::make_shared<TlsMessageState>(
             reg.key, [&] {
@@ -92,46 +159,42 @@ BufferDevice::registerTls(const std::uint8_t *data)
 
     auto job = std::make_shared<TlsDsaJob>(state, reg.page_index);
 
-    // sbuf_page == dbuf_page marks a tag-only trailer page: the
-    // record filled its last payload page exactly, so the tag spills
-    // into a destination page with no matching source page.
-    const bool tag_only = reg.sbuf_page == reg.dbuf_page;
-
-    const auto scratch = scratchpad_.allocate();
-    SD_ASSERT(scratch.has_value(),
-              "scratchpad exhausted — software skipped the freePages "
-              "check (Alg. 2 lines 8-14)");
-
-    std::uint32_t slot_id = 0;
-    if (!tag_only) {
-        // Config Memory slot holds the shipped context (key material,
-        // IV; H powers are derived inside the DSA model).
-        const auto slot = config_memory_.allocate();
-        SD_ASSERT(slot.has_value(), "config memory exhausted");
-        slot_id = *slot;
-        config_memory_.write(slot_id, 0, reg.key, sizeof(reg.key));
-        config_memory_.write(slot_id, sizeof(reg.key), reg.iv,
-                             sizeof(reg.iv));
-
-        sources_[reg.sbuf_page] =
-            SourceEntry{job, reg.dbuf_page, slot_id};
-        sbuf_message_[reg.sbuf_page] = reg.message_id;
-
-        Translation src_t;
-        src_t.kind = MappingKind::kConfigMemory;
-        src_t.offset = slot_id;
-        src_t.dest_page = reg.dbuf_page;
-        translation_.insert(reg.sbuf_page, src_t);
+    Translation src_t;
+    src_t.kind = MappingKind::kConfigMemory;
+    src_t.offset = slot_id;
+    src_t.dest_page = reg.dbuf_page;
+    if (!tag_only && !translation_.insert(reg.sbuf_page, src_t)) {
+        if (fresh_state)
+            message_states_.erase(reg.message_id);
+        config_memory_.release(slot_id);
+        scratchpad_.release(*scratch);
+        rejectRegistration(reg.dbuf_page);
+        return;
     }
-
-    dests_[reg.dbuf_page] =
-        DestEntry{job, tag_only ? 0 : reg.sbuf_page, *scratch};
-    message_pages_[reg.message_id].push_back(reg.dbuf_page);
 
     Translation dst_t;
     dst_t.kind = MappingKind::kScratchpad;
     dst_t.offset = *scratch;
-    translation_.insert(reg.dbuf_page, dst_t);
+    if (!translation_.insert(reg.dbuf_page, dst_t)) {
+        if (!tag_only) {
+            translation_.erase(reg.sbuf_page);
+            config_memory_.release(slot_id);
+        }
+        if (fresh_state)
+            message_states_.erase(reg.message_id);
+        scratchpad_.release(*scratch);
+        rejectRegistration(reg.dbuf_page);
+        return;
+    }
+
+    if (!tag_only) {
+        sources_[reg.sbuf_page] =
+            SourceEntry{job, reg.dbuf_page, slot_id};
+        sbuf_message_[reg.sbuf_page] = reg.message_id;
+    }
+    dests_[reg.dbuf_page] =
+        DestEntry{job, tag_only ? 0 : reg.sbuf_page, *scratch};
+    message_pages_[reg.message_id].push_back(reg.dbuf_page);
 
     ++stats_.registrations;
 }
@@ -140,30 +203,50 @@ void
 BufferDevice::registerDeflate(const std::uint8_t *data)
 {
     const auto reg = DeflatePageRegistration::unpack(data);
-    auto job = std::make_shared<DeflateDsaJob>(
-        reg.payload_bytes, deflate_config_, config_.dsa_line_latency,
-        &dsa_stats_);
 
-    const auto slot = config_memory_.allocate();
-    SD_ASSERT(slot.has_value(), "config memory exhausted");
-    const auto scratch = scratchpad_.allocate();
-    SD_ASSERT(scratch.has_value(),
-              "scratchpad exhausted — software skipped the freePages "
-              "check (Alg. 2 lines 8-14)");
-
-    sources_[reg.sbuf_page] = SourceEntry{job, reg.dbuf_page, *slot};
-    dests_[reg.dbuf_page] = DestEntry{job, reg.sbuf_page, *scratch};
+    std::optional<std::uint32_t> slot;
+    if (!injectFault(fault::Site::kConfigMemExhaust))
+        slot = config_memory_.allocate();
+    if (!slot) {
+        rejectRegistration(reg.dbuf_page);
+        return;
+    }
+    std::optional<std::uint32_t> scratch;
+    if (!injectFault(fault::Site::kScratchpadExhaust))
+        scratch = scratchpad_.allocate();
+    if (!scratch) {
+        config_memory_.release(*slot);
+        rejectRegistration(reg.dbuf_page);
+        return;
+    }
 
     Translation src_t;
     src_t.kind = MappingKind::kConfigMemory;
     src_t.offset = *slot;
     src_t.dest_page = reg.dbuf_page;
-    translation_.insert(reg.sbuf_page, src_t);
+    if (!translation_.insert(reg.sbuf_page, src_t)) {
+        scratchpad_.release(*scratch);
+        config_memory_.release(*slot);
+        rejectRegistration(reg.dbuf_page);
+        return;
+    }
 
     Translation dst_t;
     dst_t.kind = MappingKind::kScratchpad;
     dst_t.offset = *scratch;
-    translation_.insert(reg.dbuf_page, dst_t);
+    if (!translation_.insert(reg.dbuf_page, dst_t)) {
+        translation_.erase(reg.sbuf_page);
+        scratchpad_.release(*scratch);
+        config_memory_.release(*slot);
+        rejectRegistration(reg.dbuf_page);
+        return;
+    }
+
+    auto job = std::make_shared<DeflateDsaJob>(
+        reg.payload_bytes, deflate_config_, config_.dsa_line_latency,
+        &dsa_stats_);
+    sources_[reg.sbuf_page] = SourceEntry{job, reg.dbuf_page, *slot};
+    dests_[reg.dbuf_page] = DestEntry{job, reg.sbuf_page, *scratch};
 
     ++stats_.registrations;
 }
@@ -222,6 +305,15 @@ BufferDevice::feedDsa(std::uint64_t sbuf_page, unsigned line,
     auto it = sources_.find(sbuf_page);
     SD_ASSERT(it != sources_.end(), "sbuf mapping without a job");
     SourceEntry &entry = it->second;
+
+    // An ALERT_N retry re-issues the rdCAS, so the tap must be
+    // idempotent: a line already handed to the DSA is served from DRAM
+    // without feeding it again (the streaming ULPs consume each line
+    // exactly once).
+    const std::uint64_t line_bit = 1ULL << line;
+    if (entry.fed_lines & line_bit)
+        return;
+    entry.fed_lines |= line_bit;
 
     // The DSA transform is functionally immediate; its latency is
     // modelled by deferring the Scratchpad materialisation, so a too-
@@ -416,6 +508,10 @@ BufferDevice::reportStats(trace::StatsBlock &block) const
     block.scalar("alert_n", static_cast<double>(stats_.alert_n));
     block.scalar("registrations",
                  static_cast<double>(stats_.registrations));
+    block.scalar("rejected_registrations",
+                 static_cast<double>(stats_.rejected_registrations));
+    block.scalar("freepages_lies",
+                 static_cast<double>(stats_.freepages_lies));
 
     const ScratchpadStats &sp = scratchpad_.stats();
     block.scalar("scratchpad.allocs", static_cast<double>(sp.allocs));
@@ -442,6 +538,8 @@ BufferDevice::reportStats(trace::StatsBlock &block) const
                  static_cast<double>(dsa_stats_.deflate_busy_cycles));
     block.scalar("dsa.deflate_output_bytes",
                  static_cast<double>(dsa_stats_.deflate_output_bytes));
+    block.scalar("dsa.deflate_order_faults",
+                 static_cast<double>(dsa_stats_.deflate_order_faults));
 }
 
 } // namespace sd::smartdimm

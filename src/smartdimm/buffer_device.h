@@ -29,6 +29,7 @@
 
 #include "common/types.h"
 #include "compress/hw_deflate.h"
+#include "fault/fault.h"
 #include "mem/backing_store.h"
 #include "mem/dram_command.h"
 #include "sim/clock.h"
@@ -57,6 +58,8 @@ struct ArbiterStats
     std::uint64_t dbuf_scratch_reads = 0; ///< S10
     std::uint64_t alert_n = 0;            ///< S13
     std::uint64_t registrations = 0;      ///< S17
+    std::uint64_t rejected_registrations = 0; ///< resources exhausted
+    std::uint64_t freepages_lies = 0;     ///< injected kFreePages lies
     std::uint64_t addr_remap_checks = 0;
 };
 
@@ -97,6 +100,21 @@ class BufferDevice : public mem::DimmDevice
     /** Hardware deflate pipeline geometry used for new jobs. */
     compress::HwDeflateConfig &deflateConfig() { return deflate_config_; }
 
+    /**
+     * Attach a fault plan (not owned; may be null). Device-side sites:
+     * kFreePagesLie (the freePages register reports zero, pushing the
+     * software into Alg. 1's Force-Recycle), kScratchpadExhaust and
+     * kConfigMemExhaust (a registration's allocation fails and the
+     * registration is rejected), plus the cuckoo-table sites, which
+     * are forwarded to the Translation Table.
+     */
+    void
+    setFaultPlan(fault::FaultPlan *plan)
+    {
+        fault_plan_ = plan;
+        translation_.setFaultPlan(plan);
+    }
+
     /** @return true when @p addr falls in the MMIO window. */
     bool
     isMmio(Addr addr) const
@@ -111,6 +129,7 @@ class BufferDevice : public mem::DimmDevice
         std::shared_ptr<DsaJob> job;
         std::uint64_t dbuf_page = 0;   ///< physical page number
         std::uint32_t config_slot = 0;
+        std::uint64_t fed_lines = 0;   ///< bitmap: lines already tapped
     };
 
     struct DestEntry
@@ -124,6 +143,10 @@ class BufferDevice : public mem::DimmDevice
     void handleMmioRead(Addr addr, std::uint8_t *data);
     void registerTls(const std::uint8_t *data);
     void registerDeflate(const std::uint8_t *data);
+    /** Consult the fault plan for @p site (false with no plan). */
+    bool injectFault(fault::Site site);
+    /** Count + trace a rejected registration of @p dbuf_page. */
+    void rejectRegistration(std::uint64_t dbuf_page);
     void feedDsa(std::uint64_t sbuf_page, unsigned line,
                  const std::uint8_t *data);
     /** Stage every currently-available result line of @p dbuf_page. */
@@ -155,6 +178,7 @@ class BufferDevice : public mem::DimmDevice
     /** Reverse index: sbuf page -> TLS message id. */
     std::unordered_map<std::uint64_t, std::uint64_t> sbuf_message_;
 
+    fault::FaultPlan *fault_plan_ = nullptr;
     ArbiterStats stats_;
     DsaStats dsa_stats_;
 };

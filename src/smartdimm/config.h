@@ -66,6 +66,7 @@ enum class MmioReg : Addr
     kRegister = 0x040,     ///< WO: (sbuf, dbuf, context ref) registration
     kPendingList = 0x080,  ///< RO: pending (un-recycled) page addresses
     kContextWrite = 0x0C0, ///< WO: streaming context payload writes
+    kFaultStatus = 0x100,  ///< RO: rejected registrations, lie count
 };
 
 } // namespace sd::smartdimm

@@ -88,7 +88,17 @@ CuckooTable::insert(std::uint64_t page, const Translation &t)
         }
     }
 
-    if (tryDirectInsert(page, t)) {
+    if (fault_plan_ &&
+        fault_plan_->armed(fault::Site::kCuckooInsertFail) &&
+        fault_plan_->shouldInject(fault::Site::kCuckooInsertFail)) {
+        ++stats_.failures;
+        return false;
+    }
+    const bool forced_conflict =
+        fault_plan_ && fault_plan_->armed(fault::Site::kCuckooConflict) &&
+        fault_plan_->shouldInject(fault::Site::kCuckooConflict);
+
+    if (!forced_conflict && tryDirectInsert(page, t)) {
         ++stats_.first_try_inserts;
         ++live_;
         return true;
@@ -113,9 +123,22 @@ CuckooTable::insert(std::uint64_t page, const Translation &t)
         // try every alternative bucket of the evicted key before
         // kicking again (standard d-ary cuckoo walk).
         Bucket &bucket = buckets_[hash(cur_page, kick_fn)];
+        if (!bucket.valid) {
+            // Only reachable via a forced conflict (the genuine path
+            // enters the chain with all three buckets occupied): the
+            // "displaced" key lands straight in the free bucket.
+            bucket.page = cur_page;
+            bucket.translation = cur_t;
+            bucket.valid = true;
+            ++live_;
+            ++stats_.displaced_inserts;
+            if (cam_slot != cam_.end() && cam_slot->valid &&
+                cam_slot->page == page)
+                cam_slot->valid = false;
+            return true;
+        }
         std::swap(bucket.page, cur_page);
         std::swap(bucket.translation, cur_t);
-        bucket.valid = true;
         ++stats_.displacements;
 
         if (tryDirectInsert(cur_page, cur_t)) {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "fault/fault.h"
 
 namespace sd::smartdimm {
 
@@ -70,6 +71,15 @@ class CuckooTable
     /** Insert or update a mapping. @return false on table failure. */
     bool insert(std::uint64_t page, const Translation &translation);
 
+    /**
+     * Attach a fault plan (not owned; may be null). Sites consulted in
+     * insert(): kCuckooConflict (direct placement is treated as
+     * conflicted, forcing the CAM-staged displacement path) and
+     * kCuckooInsertFail (the insert fails outright, which the caller
+     * surfaces as a registration rejection).
+     */
+    void setFaultPlan(fault::FaultPlan *plan) { fault_plan_ = plan; }
+
     /** @return the mapping for @p page when present. */
     std::optional<Translation> lookup(std::uint64_t page);
 
@@ -98,6 +108,7 @@ class CuckooTable
 
     std::vector<Bucket> buckets_;
     std::vector<Bucket> cam_;
+    fault::FaultPlan *fault_plan_ = nullptr;
     unsigned max_displacements_;
     std::size_t live_ = 0;
     CuckooStats stats_;

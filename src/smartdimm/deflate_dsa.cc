@@ -23,9 +23,19 @@ DeflateDsaJob::DeflateDsaJob(std::size_t payload_bytes,
 Cycles
 DeflateDsaJob::processLine(unsigned line, const std::uint8_t *data)
 {
-    SD_ASSERT(line == next_line_,
-              "deflate DSA requires in-order lines (got %u, want %u)",
-              line, next_line_);
+    if (poisoned_)
+        return line_latency_;
+    if (line != next_line_) {
+        // Fence violation: the streaming pipeline cannot reorder, so
+        // the hardware poisons the job instead of emitting a corrupt
+        // stream. The page never completes; its dbuf reads keep
+        // asserting ALERT_N until the controller degrades them and the
+        // host falls back (graceful, not SD_ASSERT-fatal).
+        poisoned_ = true;
+        if (stats_)
+            ++stats_->deflate_order_faults;
+        return line_latency_;
+    }
     ++next_line_;
 
     const std::size_t already = input_.size();

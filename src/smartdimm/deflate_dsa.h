@@ -51,6 +51,9 @@ class DeflateDsaJob : public DsaJob
     /** Pipeline statistics of the finished page. */
     const compress::HwDeflateStats &hwStats() const { return hw_stats_; }
 
+    /** True after an out-of-order line poisoned the stream. */
+    bool poisoned() const { return poisoned_; }
+
   private:
     std::size_t payload_bytes_;
     std::size_t payload_lines_;
@@ -62,6 +65,7 @@ class DeflateDsaJob : public DsaJob
     DsaStats *stats_ = nullptr;
     unsigned next_line_ = 0;
     bool done_ = false;
+    bool poisoned_ = false;
 };
 
 } // namespace sd::smartdimm

@@ -39,6 +39,7 @@ struct DsaStats
     std::uint64_t deflate_pages = 0;      ///< pages compressed
     std::uint64_t deflate_busy_cycles = 0;
     std::uint64_t deflate_output_bytes = 0;
+    std::uint64_t deflate_order_faults = 0; ///< fence violations (poisoned)
 };
 
 /**

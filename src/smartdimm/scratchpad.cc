@@ -121,6 +121,16 @@ Scratchpad::forceDrainPage(std::uint32_t page, std::uint8_t *page_data)
     freePage(page);
 }
 
+void
+Scratchpad::release(std::uint32_t page)
+{
+    owner_.check();
+    Page &p = pages_[page];
+    SD_ASSERT(p.allocated, "release of unallocated scratchpad page");
+    p.pending.reset();
+    freePage(page);
+}
+
 std::vector<std::uint32_t>
 Scratchpad::pendingPages() const
 {

@@ -91,6 +91,9 @@ class Scratchpad
      *  @p page_data (4 KB) and free it. */
     void forceDrainPage(std::uint32_t page, std::uint8_t *page_data);
 
+    /** Return a just-allocated page unused (registration rollback). */
+    void release(std::uint32_t page);
+
     /** Pending (allocated) page slots — the MMIO pending list. */
     std::vector<std::uint32_t> pendingPages() const;
 

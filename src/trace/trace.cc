@@ -18,8 +18,8 @@ stageName(Stage s)
         kNames = {
             "flush",   "register", "copy",          "transform",
             "stage",   "recycle",  "force_recycle", "use",
-            "alert",   "ddr_rd",   "ddr_wr",        "ddr_act",
-            "ddr_pre",
+            "alert",   "fault",    "ddr_rd",        "ddr_wr",
+            "ddr_act", "ddr_pre",
         };
     const auto i = static_cast<std::size_t>(s);
     return i < kNames.size() ? kNames[i] : "?";
@@ -272,6 +272,15 @@ Tracer::ddrEvent(Stage stage, Tick tick, Addr addr)
         return;
     MutexLock lock(mu_);
     recordLocked(spanOfPageLocked(addr / kPageSize), stage, tick, addr);
+}
+
+void
+Tracer::faultEvent(std::uint64_t page, Tick tick, Addr addr)
+{
+    if (!enabled())
+        return;
+    MutexLock lock(mu_);
+    recordLocked(spanOfPageLocked(page), Stage::kFault, tick, addr);
 }
 
 std::vector<Span>

@@ -66,6 +66,7 @@ enum class Stage : std::uint8_t
     kForceRecycle,  ///< Force-Recycle invoked (Alg. 1)
     kUse,           ///< USE-side flush of a dbuf line (Alg. 2 l. 32)
     kAlert,         ///< ALERT_N retry of a premature dbuf read (S13)
+    kFault,         ///< injected fault or degraded-mode transition
     kDdrRead,       ///< mirrored rdCAS
     kDdrWrite,      ///< mirrored wrCAS
     kDdrActivate,   ///< mirrored ACT
@@ -243,6 +244,14 @@ class Tracer
     /** Mirror one DDR command (recorded even when unattributed). */
     void ddrEvent(Stage stage, Tick tick, Addr addr);
 
+    /**
+     * Record a kFault event attributed through the page binding of
+     * @p page, but — unlike pageEvent() — recorded even when no span
+     * is bound (fault sites may fire outside any CompCpy, e.g. an MMIO
+     * register lie). The fault-injected golden trace pins these.
+     */
+    void faultEvent(std::uint64_t page, Tick tick, Addr addr);
+
     // ----- inspection -------------------------------------------------------
 
     /** Snapshot of all spans opened so far. */
@@ -316,6 +325,7 @@ Tracer &tracer();
 #ifdef SD_TRACE_DISABLED
 #define SD_TRACE_EVENT(span, stage, tick, addr) ((void)0)
 #define SD_TRACE_PAGE_EVENT(page, stage, tick, addr) ((void)0)
+#define SD_TRACE_FAULT_EVENT(page, tick, addr) ((void)0)
 #define SD_SPAN_BEGIN(kind, sbuf, dbuf, bytes, now) (std::uint32_t{0})
 #define SD_SPAN_END(span, tick) ((void)(span))
 #else
@@ -323,6 +333,8 @@ Tracer &tracer();
     ::sd::trace::tracer().event((span), (stage), (tick), (addr))
 #define SD_TRACE_PAGE_EVENT(page, stage, tick, addr)                        \
     ::sd::trace::tracer().pageEvent((page), (stage), (tick), (addr))
+#define SD_TRACE_FAULT_EVENT(page, tick, addr)                              \
+    ::sd::trace::tracer().faultEvent((page), (tick), (addr))
 #define SD_SPAN_BEGIN(kind, sbuf, dbuf, bytes, now)                         \
     ::sd::trace::tracer().beginSpan((kind), (sbuf), (dbuf), (bytes), (now))
 #define SD_SPAN_END(span, tick)                                             \

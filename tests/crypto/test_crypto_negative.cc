@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Negative-path crypto: corrupted tags, ciphertext, AAD, nonces and
+ * truncated records must surface as authentication failures — never as
+ * a crash, an assert, or silently-accepted plaintext. A failed attempt
+ * must also leave the session usable (rx state advances only on
+ * success).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "crypto/aes_gcm.h"
+#include "crypto/tls_record.h"
+
+namespace {
+
+using namespace sd;
+using crypto::GcmContext;
+using crypto::GcmIv;
+using crypto::GcmTag;
+using crypto::TlsRecord;
+using crypto::TlsSession;
+
+struct Fixture
+{
+    std::uint8_t key[16];
+    GcmIv iv{};
+    std::vector<std::uint8_t> plain;
+    std::vector<std::uint8_t> aad;
+
+    explicit Fixture(std::size_t len = 300)
+    {
+        Rng rng(31);
+        rng.fill(key, sizeof(key));
+        rng.fill(iv.data(), iv.size());
+        plain.resize(len);
+        rng.fill(plain.data(), len);
+        aad = {0x17, 0x03, 0x03, 0x01, 0x2c};
+    }
+};
+
+TEST(CryptoNegative, EveryTagByteIsAuthenticated)
+{
+    Fixture fx;
+    GcmContext ctx(fx.key, crypto::Aes::KeySize::k128);
+    std::vector<std::uint8_t> cipher(fx.plain.size());
+    GcmTag tag = ctx.encrypt(fx.iv, fx.plain.data(), fx.plain.size(),
+                             cipher.data(), fx.aad.data(), fx.aad.size());
+
+    std::vector<std::uint8_t> out(fx.plain.size());
+    ASSERT_TRUE(ctx.decrypt(fx.iv, cipher.data(), cipher.size(), tag,
+                            out.data(), fx.aad.data(), fx.aad.size()));
+
+    for (std::size_t i = 0; i < tag.size(); ++i) {
+        GcmTag bad = tag;
+        bad[i] ^= 0x01;
+        EXPECT_FALSE(ctx.decrypt(fx.iv, cipher.data(), cipher.size(), bad,
+                                 out.data(), fx.aad.data(),
+                                 fx.aad.size()))
+            << "tag byte " << i;
+    }
+}
+
+TEST(CryptoNegative, CiphertextBitFlipsFailAuthentication)
+{
+    Fixture fx;
+    GcmContext ctx(fx.key, crypto::Aes::KeySize::k128);
+    std::vector<std::uint8_t> cipher(fx.plain.size());
+    const GcmTag tag =
+        ctx.encrypt(fx.iv, fx.plain.data(), fx.plain.size(),
+                    cipher.data());
+
+    std::vector<std::uint8_t> out(fx.plain.size());
+    // First, middle, last byte and a few random positions.
+    Rng rng(32);
+    std::vector<std::size_t> positions = {0, fx.plain.size() / 2,
+                                          fx.plain.size() - 1};
+    for (int i = 0; i < 8; ++i)
+        positions.push_back(rng.below(fx.plain.size()));
+    for (const std::size_t pos : positions) {
+        auto bad = cipher;
+        bad[pos] ^= static_cast<std::uint8_t>(1u << (pos % 8));
+        EXPECT_FALSE(ctx.decrypt(fx.iv, bad.data(), bad.size(), tag,
+                                 out.data()))
+            << "flip at " << pos;
+    }
+    EXPECT_TRUE(
+        ctx.decrypt(fx.iv, cipher.data(), cipher.size(), tag, out.data()));
+    EXPECT_EQ(out, fx.plain);
+}
+
+TEST(CryptoNegative, AadIsAuthenticated)
+{
+    Fixture fx;
+    GcmContext ctx(fx.key, crypto::Aes::KeySize::k128);
+    std::vector<std::uint8_t> cipher(fx.plain.size());
+    const GcmTag tag =
+        ctx.encrypt(fx.iv, fx.plain.data(), fx.plain.size(),
+                    cipher.data(), fx.aad.data(), fx.aad.size());
+
+    std::vector<std::uint8_t> out(fx.plain.size());
+    auto bad_aad = fx.aad;
+    bad_aad[0] ^= 0x80;
+    EXPECT_FALSE(ctx.decrypt(fx.iv, cipher.data(), cipher.size(), tag,
+                             out.data(), bad_aad.data(), bad_aad.size()));
+    // Dropping the AAD entirely must also fail.
+    EXPECT_FALSE(ctx.decrypt(fx.iv, cipher.data(), cipher.size(), tag,
+                             out.data()));
+    // Truncated AAD must fail.
+    EXPECT_FALSE(ctx.decrypt(fx.iv, cipher.data(), cipher.size(), tag,
+                             out.data(), fx.aad.data(),
+                             fx.aad.size() - 1));
+}
+
+TEST(CryptoNegative, WrongNonceFailsAuthentication)
+{
+    Fixture fx;
+    GcmContext ctx(fx.key, crypto::Aes::KeySize::k128);
+    std::vector<std::uint8_t> cipher(fx.plain.size());
+    const GcmTag tag = ctx.encrypt(fx.iv, fx.plain.data(),
+                                   fx.plain.size(), cipher.data());
+
+    GcmIv wrong = fx.iv;
+    wrong[11] ^= 0x01;
+    std::vector<std::uint8_t> out(fx.plain.size());
+    EXPECT_FALSE(ctx.decrypt(wrong, cipher.data(), cipher.size(), tag,
+                             out.data()));
+}
+
+TEST(CryptoNegative, TamperedTlsRecordsRejectWithoutDesync)
+{
+    Fixture fx(1000);
+    TlsSession tx(fx.key, fx.iv);
+    TlsSession rx(fx.key, fx.iv);
+
+    const TlsRecord record = tx.protect(fx.plain.data(), fx.plain.size());
+
+    // One representative corruption per wire region: header (AAD),
+    // ciphertext body, trailing tag.
+    const std::size_t body = crypto::kTlsHeaderSize + 10;
+    const std::size_t tag_byte = record.wire.size() - 1;
+    for (const std::size_t pos : {std::size_t{0}, body, tag_byte}) {
+        TlsRecord bad = record;
+        bad.wire[pos] ^= 0x40;
+        EXPECT_TRUE(rx.unprotect(bad).empty()) << "byte " << pos;
+    }
+
+    // Failed attempts must not advance the receive sequence: the
+    // untampered record still decrypts on the same session.
+    EXPECT_EQ(rx.unprotect(record), fx.plain);
+    // ... and exactly once (sequence moved forward afterwards).
+    EXPECT_TRUE(rx.unprotect(record).empty());
+}
+
+TEST(CryptoNegative, TruncatedTlsRecordsRejectGracefully)
+{
+    Fixture fx(64);
+    TlsSession tx(fx.key, fx.iv);
+    TlsSession rx(fx.key, fx.iv);
+    const TlsRecord record = tx.protect(fx.plain.data(), fx.plain.size());
+
+    for (const std::size_t keep :
+         {std::size_t{0}, std::size_t{1}, crypto::kTlsHeaderSize,
+          crypto::kTlsHeaderSize + crypto::kTlsTagSize - 1,
+          crypto::kTlsHeaderSize + crypto::kTlsTagSize,
+          record.wire.size() - 1}) {
+        TlsRecord bad = record;
+        bad.wire.resize(keep);
+        EXPECT_TRUE(rx.unprotect(bad).empty()) << "kept " << keep;
+    }
+    EXPECT_EQ(rx.unprotect(record), fx.plain);
+}
+
+TEST(CryptoNegative, CorruptedLineYieldsWrongIncrementalTag)
+{
+    // The DSA path: one corrupted sbuf line must surface as a tag
+    // mismatch at the verifier, not as an accepted message.
+    Fixture fx(4096);
+    GcmContext ctx(fx.key, crypto::Aes::KeySize::k128);
+
+    auto run = [&](bool corrupt) {
+        crypto::IncrementalGcm inc(ctx, fx.iv, fx.plain.size());
+        std::vector<std::uint8_t> input = fx.plain;
+        if (corrupt)
+            input[70] ^= 0x01; // inside line 1
+        std::vector<std::uint8_t> out(input.size());
+        // Reverse order: exercises the out-of-order accumulation too.
+        for (std::size_t line = inc.lineCount(); line-- > 0;) {
+            const std::size_t off = line * kCacheLineSize;
+            inc.processLine(line, input.data() + off, out.data() + off);
+        }
+        EXPECT_TRUE(inc.complete());
+        return inc.finalTag();
+    };
+
+    const GcmTag good = run(false);
+    const GcmTag bad = run(true);
+    EXPECT_NE(good, bad);
+
+    // The reference verifier rejects the corrupted stream.
+    std::vector<std::uint8_t> cipher(fx.plain.size());
+    const GcmTag reference = ctx.encrypt(fx.iv, fx.plain.data(),
+                                         fx.plain.size(), cipher.data());
+    EXPECT_EQ(reference, good);
+    std::vector<std::uint8_t> out(fx.plain.size());
+    EXPECT_FALSE(ctx.decrypt(fx.iv, cipher.data(), cipher.size(), bad,
+                             out.data()));
+}
+
+} // namespace

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * FaultPlan semantics: rule windows (skip/count), probabilistic rules,
+ * the determinism contract (same seed => same decisions; inert rules
+ * never perturb other rules' streams), and the SD_FAULT_PLAN spec
+ * parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/fault.h"
+
+namespace {
+
+using namespace sd;
+using fault::FaultPlan;
+using fault::Site;
+
+TEST(FaultPlan, EmptyPlanInjectsNothing)
+{
+    FaultPlan plan(1);
+    for (std::size_t s = 0; s < static_cast<std::size_t>(Site::kCount);
+         ++s) {
+        const Site site = static_cast<Site>(s);
+        EXPECT_FALSE(plan.armed(site));
+        EXPECT_FALSE(plan.shouldInject(site));
+    }
+    EXPECT_EQ(plan.totalInjected(), 0u);
+}
+
+TEST(FaultPlan, SkipAndCountWindow)
+{
+    FaultPlan plan(1);
+    plan.add(Site::kAlertStorm, /*skip=*/2, /*count=*/3);
+
+    std::vector<bool> decisions;
+    for (int i = 0; i < 8; ++i)
+        decisions.push_back(plan.shouldInject(Site::kAlertStorm));
+
+    const std::vector<bool> expect = {false, false, true, true,
+                                      true,  false, false, false};
+    EXPECT_EQ(decisions, expect);
+    EXPECT_EQ(plan.triggers(Site::kAlertStorm), 8u);
+    EXPECT_EQ(plan.injected(Site::kAlertStorm), 3u);
+}
+
+TEST(FaultPlan, RulesAtSameSiteEvaluateInAddOrder)
+{
+    // Two windows back to back: [skip 1, fire 1] then [skip 3, fire 1].
+    FaultPlan plan(1);
+    plan.add(Site::kNetLoss, 1, 1);
+    plan.add(Site::kNetLoss, 3, 1);
+
+    std::vector<bool> decisions;
+    for (int i = 0; i < 6; ++i)
+        decisions.push_back(plan.shouldInject(Site::kNetLoss));
+    const std::vector<bool> expect = {false, true, false, true,
+                                      false, false};
+    EXPECT_EQ(decisions, expect);
+    EXPECT_EQ(plan.injected(Site::kNetLoss), 2u);
+}
+
+TEST(FaultPlan, SameSeedSameDecisions)
+{
+    auto run = [](std::uint64_t seed) {
+        FaultPlan plan(seed);
+        plan.add(Site::kFreePagesLie, 0, ~0ULL, 0.4);
+        std::vector<bool> decisions;
+        for (int i = 0; i < 200; ++i)
+            decisions.push_back(plan.shouldInject(Site::kFreePagesLie));
+        return decisions;
+    };
+    EXPECT_EQ(run(7), run(7));
+    EXPECT_NE(run(7), run(8)) << "seed must matter for p < 1 rules";
+}
+
+TEST(FaultPlan, InertRuleDoesNotPerturbOtherStreams)
+{
+    // The RNG is consumed only by armed probabilistic triggers, so a
+    // deterministic (p = 1) rule at another site must not shift the
+    // probabilistic site's decisions.
+    auto run = [](bool with_extra_rule) {
+        FaultPlan plan(42);
+        plan.add(Site::kFreePagesLie, 0, ~0ULL, 0.5);
+        if (with_extra_rule)
+            plan.add(Site::kAlertStorm); // p = 1: never rolls the RNG
+        std::vector<bool> decisions;
+        for (int i = 0; i < 100; ++i) {
+            plan.shouldInject(Site::kAlertStorm);
+            decisions.push_back(plan.shouldInject(Site::kFreePagesLie));
+        }
+        return decisions;
+    };
+    EXPECT_EQ(run(false), run(true));
+}
+
+TEST(FaultPlan, ProbabilisticRuleRespectsCountBudget)
+{
+    FaultPlan plan(3);
+    plan.add(Site::kNetReorder, 0, /*count=*/5, 0.3);
+    for (int i = 0; i < 1000; ++i)
+        plan.shouldInject(Site::kNetReorder);
+    EXPECT_EQ(plan.injected(Site::kNetReorder), 5u);
+    EXPECT_EQ(plan.triggers(Site::kNetReorder), 1000u);
+}
+
+TEST(FaultPlan, SiteNamesRoundTrip)
+{
+    for (std::size_t s = 0; s < static_cast<std::size_t>(Site::kCount);
+         ++s) {
+        const Site site = static_cast<Site>(s);
+        const auto back = fault::siteFromName(fault::siteName(site));
+        ASSERT_TRUE(back.has_value()) << fault::siteName(site);
+        EXPECT_EQ(*back, site);
+    }
+    EXPECT_FALSE(fault::siteFromName("no_such_site").has_value());
+}
+
+TEST(FaultPlan, SpecParserAcceptsFullGrammar)
+{
+    auto plan = FaultPlan::fromSpec(
+        "alert_storm:skip=2:count=3,free_pages_lie:count=1:p=0.5", 9);
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_TRUE(plan->armed(Site::kAlertStorm));
+    EXPECT_TRUE(plan->armed(Site::kFreePagesLie));
+    EXPECT_FALSE(plan->armed(Site::kNetLoss));
+
+    // The alert_storm rule behaves as {skip 2, count 3}.
+    int fired = 0;
+    for (int i = 0; i < 10; ++i)
+        fired += plan->shouldInject(Site::kAlertStorm);
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(FaultPlan, SpecParserRejectsMalformedInput)
+{
+    const char *bad[] = {
+        "bogus_site",         "alert_storm:skip=x",
+        "alert_storm:p=1.x",  "alert_storm:count=",
+        "alert_storm:zap=1",  "alert_storm:p=1.5",
+    };
+    for (const char *spec : bad)
+        EXPECT_FALSE(FaultPlan::fromSpec(spec, 1).has_value())
+            << "accepted: " << spec;
+}
+
+TEST(FaultPlan, EmptySpecIsValidNoOpPlan)
+{
+    auto plan = FaultPlan::fromSpec("", 1);
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_EQ(plan->totalInjected(), 0u);
+}
+
+} // namespace

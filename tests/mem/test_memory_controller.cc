@@ -97,7 +97,8 @@ struct Rig
     writeSync(Addr addr, const std::uint8_t *data)
     {
         bool done = false;
-        mc.enqueueWrite(addr, data, [&](Tick) { done = true; });
+        mc.enqueueWrite(addr, data,
+                        [&](Tick, mem::MemStatus) { done = true; });
         while (!done)
             events.run();
     }
@@ -106,7 +107,8 @@ struct Rig
     readSync(Addr addr, std::uint8_t *data)
     {
         bool done = false;
-        mc.enqueueRead(addr, data, [&](Tick) { done = true; });
+        mc.enqueueRead(addr, data,
+                       [&](Tick, mem::MemStatus) { done = true; });
         while (!done)
             events.run();
     }
@@ -220,10 +222,11 @@ TEST(MemoryController, WritesBatchBeforeDraining)
     int writes_done = 0;
     for (int i = 0; i < 24; ++i)
         rig.mc.enqueueWrite(0x9000 + i * 64ull, line,
-                            [&](Tick) { ++writes_done; });
+                            [&](Tick, mem::MemStatus) { ++writes_done; });
     std::uint8_t buf[64];
     bool read_done = false;
-    rig.mc.enqueueRead(0x100000, buf, [&](Tick) { read_done = true; });
+    rig.mc.enqueueRead(0x100000, buf,
+                       [&](Tick, mem::MemStatus) { read_done = true; });
     rig.events.run();
     EXPECT_TRUE(read_done);
     EXPECT_EQ(writes_done, 24);

@@ -25,6 +25,7 @@
 #include "compcpy/compcpy.h"
 #include "compcpy/driver.h"
 #include "mem/dram_command.h"
+#include "fault/fault.h"
 #include "sim/event_queue.h"
 #include "smartdimm/buffer_device.h"
 #include "trace/trace.h"
@@ -56,7 +57,8 @@ class CasCounter : public mem::CommandObserver
 
 /** The fixed workload: one 4 KB TLS CompCpy + USE, DDR mirror on. */
 std::string
-runGoldenWorkload(CasCounter *observer)
+runGoldenWorkload(CasCounter *observer,
+                  fault::FaultPlan *fault_plan = nullptr)
 {
     EventQueue events;
     mem::BackingStore dram;
@@ -76,6 +78,12 @@ runGoldenWorkload(CasCounter *observer)
     compcpy::Driver driver(/*base=*/1ULL << 20, /*bytes=*/64ULL << 20);
     compcpy::CompCpyEngine::SharedState shared;
     compcpy::CompCpyEngine engine(memory, driver, shared);
+
+    if (fault_plan) {
+        dimm.setFaultPlan(fault_plan);
+        memory.setFaultPlan(fault_plan);
+        engine.setFaultPlan(fault_plan);
+    }
 
     auto &tr = trace::tracer();
     tr.clear();
@@ -113,6 +121,26 @@ goldenPath()
     return std::string(SD_GOLDEN_DIR) + "/compcpy_tls_4k.golden";
 }
 
+std::string
+faultGoldenPath()
+{
+    return std::string(SD_GOLDEN_DIR) + "/compcpy_tls_4k_fault.golden";
+}
+
+/**
+ * The pinned fault plan: fully scripted (p = 1) rules, so the trace is
+ * a pure function of the rig — two spurious ALERT_N retries partway
+ * into the copy plus one freePages lie driving a Force-Recycle pass.
+ */
+fault::FaultPlan
+makeGoldenFaultPlan()
+{
+    fault::FaultPlan plan(/*seed=*/17);
+    plan.add(fault::Site::kAlertStorm, /*skip=*/4, /*count=*/2);
+    plan.add(fault::Site::kFreePagesLie, /*skip=*/0, /*count=*/1);
+    return plan;
+}
+
 TEST(GoldenTrace, MatchesCheckedInTrace)
 {
     const std::string got = runGoldenWorkload(nullptr);
@@ -144,6 +172,60 @@ TEST(GoldenTrace, MatchesCheckedInTrace)
     }
     EXPECT_FALSE(std::getline(got_s, got_line))
         << "trace has extra rows past golden line " << line;
+}
+
+TEST(GoldenTrace, FaultInjectedTraceMatchesCheckedInTrace)
+{
+    // Same workload under the pinned fault plan: the recovery path
+    // (retries, Force-Recycle re-reads) is part of the byte-pinned
+    // event ordering, so a change to retry scheduling or fault
+    // attribution diffs here even when the fault-free golden is quiet.
+    fault::FaultPlan plan = makeGoldenFaultPlan();
+    const std::string got = runGoldenWorkload(nullptr, &plan);
+
+    if (std::getenv("SD_REGEN_GOLDEN")) {
+        std::ofstream out(faultGoldenPath(), std::ios::binary);
+        ASSERT_TRUE(out) << "cannot write " << faultGoldenPath();
+        out << got;
+        GTEST_SKIP() << "regenerated " << faultGoldenPath();
+    }
+
+    std::ifstream in(faultGoldenPath(), std::ios::binary);
+    ASSERT_TRUE(in) << "missing golden file " << faultGoldenPath()
+                    << " — run with SD_REGEN_GOLDEN=1 to create it";
+    std::stringstream want;
+    want << in.rdbuf();
+
+    std::istringstream got_s(got), want_s(want.str());
+    std::string got_line, want_line;
+    std::size_t line = 0;
+    while (std::getline(want_s, want_line)) {
+        ++line;
+        ASSERT_TRUE(std::getline(got_s, got_line))
+            << "trace truncated at golden line " << line;
+        ASSERT_EQ(got_line, want_line) << "first divergence at line "
+                                       << line;
+    }
+    EXPECT_FALSE(std::getline(got_s, got_line))
+        << "trace has extra rows past golden line " << line;
+    // The plan fired in full — otherwise the golden pins nothing.
+    EXPECT_EQ(plan.injected(fault::Site::kAlertStorm), 2u);
+    EXPECT_EQ(plan.injected(fault::Site::kFreePagesLie), 1u);
+}
+
+TEST(GoldenTrace, FaultInjectedRunIsDeterministic)
+{
+    auto run = [] {
+        fault::FaultPlan plan = makeGoldenFaultPlan();
+        return runGoldenWorkload(nullptr, &plan);
+    };
+    const std::string first = run();
+    EXPECT_EQ(first, run());
+
+    // Faults leave visible footprints: the trace must contain `fault`
+    // rows, and must differ from the fault-free trace.
+    EXPECT_NE(first.find(",fault,"), std::string::npos);
+    EXPECT_NE(first, runGoldenWorkload(nullptr));
 }
 
 TEST(GoldenTrace, RunIsDeterministic)
