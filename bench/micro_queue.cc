@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Work-queue microbenchmark: offload throughput of the async
+ * descriptor front end vs serial synchronous CompCpy calls.
+ *
+ * Workload shape matters here. Large records saturate the single DDR
+ * channel with copy traffic, so queue depth adds latency without
+ * adding throughput — the engine already pipelines lines within one
+ * op. The front end's win is amortising the *fixed* per-offload
+ * protocol cost (doorbell MMIO, page registration, completion ack,
+ * and the dependent round trips between them), which dominates for
+ * small messages. So the bench offloads single-line deflate records
+ * (no TLS trailer zero-fill inflating the bus floor) from pre-staged,
+ * pre-flushed sources, three ways:
+ *
+ *  - serial_sync: one run() at a time — every round trip exposed.
+ *  - async: closed loop of single-op descriptors at depths 1..32 —
+ *    each reaped completion immediately submits the next, holding the
+ *    ring at its target depth.
+ *  - async_batch8: closed loop of batch descriptors packing 8
+ *    messages each — one doorbell and one completion ack per 8 ops.
+ *
+ * Reports offloads/sec (from simulated ticks) and p50/p99
+ * submit→record latency per row, and writes BENCH_queue.json.
+ *
+ * Paper anchor: DSA-style batching (Sec. IV-B) — one core keeps many
+ * small offloads in flight, and batch descriptors amortise the MMIO
+ * protocol, so the async front end must sustain >= 2x serial
+ * throughput by depth 8.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "compcpy/queue.h"
+
+using namespace sd;
+using compcpy::CompletionRecord;
+using compcpy::Descriptor;
+using compcpy::QueueMode;
+using compcpy::WorkQueue;
+using compcpy::WorkQueueConfig;
+
+namespace {
+
+constexpr std::size_t kOffloads = 256;
+constexpr std::size_t kRecordBytes = 64; // one line: protocol-bound
+constexpr std::size_t kBatch = 8;        // messages per batch descriptor
+
+/**
+ * Pre-staged workload: every source buffer written *and flushed*
+ * before timing, so the timed region measures the offload protocol,
+ * not staging writebacks (flushSource then finds clean lines and
+ * completes locally in both modes).
+ */
+struct Workload
+{
+    std::vector<compcpy::CompCpyParams> ops;
+};
+
+Workload
+stage(bench::DeviceRig &rig)
+{
+    Workload w;
+    Rng rng(71);
+    std::vector<std::uint8_t> plain(kRecordBytes);
+
+    for (std::size_t i = 0; i < kOffloads; ++i) {
+        rng.fill(plain.data(), plain.size());
+        const Addr sbuf = rig.driver.alloc(kRecordBytes);
+        const Addr dbuf = rig.driver.alloc(kPageSize);
+        rig.memory->writeSync(sbuf, plain.data(), plain.size());
+        rig.memory->flushSync(sbuf, plain.size());
+
+        compcpy::CompCpyParams params;
+        params.sbuf = sbuf;
+        params.dbuf = dbuf;
+        params.size = kRecordBytes;
+        params.ulp = smartdimm::UlpKind::kDeflate;
+        params.message_id = i + 1;
+        w.ops.push_back(params);
+    }
+    return w;
+}
+
+struct Row
+{
+    const char *mode = "async";
+    std::size_t depth = 0; ///< 0 = serial synchronous baseline
+    std::size_t batch = 1; ///< ops per descriptor
+    double offloads_per_sec = 0;
+    double p50_us = 0;
+    double p99_us = 0;
+    double speedup = 1.0;
+};
+
+double
+offloadsPerSec(Tick elapsed)
+{
+    // Ticks are picoseconds.
+    return static_cast<double>(kOffloads) * 1e12 /
+           static_cast<double>(elapsed);
+}
+
+/** Serial baseline: one synchronous run() at a time. */
+Row
+runSerial()
+{
+    bench::DeviceRig rig;
+    const Workload w = stage(rig);
+    const Tick start = rig.events.now();
+    for (const auto &op : w.ops)
+        rig.engine.run(op);
+    const Tick elapsed = rig.events.now() - start;
+
+    Row row;
+    row.mode = "serial_sync";
+    row.depth = 0;
+    row.offloads_per_sec = offloadsPerSec(elapsed);
+    const auto &lat = rig.engine.syncQueue().completionLatency();
+    row.p50_us = static_cast<double>(lat.percentile(0.50)) / 1e6;
+    row.p99_us = static_cast<double>(lat.percentile(0.99)) / 1e6;
+    return row;
+}
+
+/**
+ * Closed-loop async: reaping a record submits the next descriptor,
+ * packing `batch` messages per descriptor (1 = single-op).
+ */
+Row
+runAsync(std::size_t depth, std::size_t batch)
+{
+    bench::DeviceRig rig;
+    const Workload w = stage(rig);
+
+    WorkQueueConfig cfg;
+    cfg.id = 1;
+    cfg.mode = QueueMode::kDedicated;
+    cfg.depth = depth;
+    cfg.max_inflight = depth * batch;
+    WorkQueue queue(rig.engine, cfg);
+
+    const std::size_t descriptors = kOffloads / batch;
+    std::size_t next = 0;
+    std::size_t done = 0;
+    std::function<void(const CompletionRecord &)> on_complete;
+    auto submitNext = [&] {
+        if (next >= descriptors)
+            return;
+        std::vector<compcpy::CompCpyParams> ops(
+            w.ops.begin() + static_cast<std::ptrdiff_t>(next * batch),
+            w.ops.begin() +
+                static_cast<std::ptrdiff_t>((next + 1) * batch));
+        queue.submitForce(Descriptor::batch(std::move(ops)), 0,
+                          on_complete);
+        ++next;
+    };
+    on_complete = [&](const CompletionRecord &) {
+        ++done;
+        submitNext();
+    };
+
+    const Tick start = rig.events.now();
+    for (std::size_t i = 0; i < depth && next < descriptors; ++i)
+        submitNext();
+    rig.events.run();
+    const Tick elapsed = rig.events.now() - start;
+
+    Row row;
+    row.mode = batch > 1 ? "async_batch8" : "async";
+    row.depth = depth;
+    row.batch = batch;
+    row.offloads_per_sec =
+        done == descriptors ? offloadsPerSec(elapsed) : 0;
+    const auto &lat = queue.completionLatency();
+    row.p50_us = static_cast<double>(lat.percentile(0.50)) / 1e6;
+    row.p99_us = static_cast<double>(lat.percentile(0.99)) / 1e6;
+    return row;
+}
+
+void
+writeJson(const std::vector<Row> &rows)
+{
+    std::ofstream os("BENCH_queue.json");
+    if (!os) {
+        std::printf("could not write BENCH_queue.json\n");
+        return;
+    }
+    os << "{\n  \"offloads\": " << kOffloads
+       << ",\n  \"record_bytes\": " << kRecordBytes
+       << ",\n  \"results\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        os << "    {\"mode\": \"" << r.mode << "\", "
+           << "\"depth\": " << r.depth << ", "
+           << "\"batch\": " << r.batch << ", "
+           << "\"offloads_per_sec\": " << r.offloads_per_sec << ", "
+           << "\"p50_us\": " << r.p50_us << ", "
+           << "\"p99_us\": " << r.p99_us << ", "
+           << "\"speedup_vs_serial\": " << r.speedup << "}"
+           << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    std::printf("wrote BENCH_queue.json\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Work-queue microbenchmark (Sec. IV-B)",
+                  "async descriptor throughput vs serial CompCpy calls");
+
+    std::vector<Row> rows;
+    rows.push_back(runSerial());
+    const double serial = rows[0].offloads_per_sec;
+
+    std::printf("%-12s %8s %6s %14s %10s %10s %9s\n", "mode", "depth",
+                "batch", "offloads/s", "p50(us)", "p99(us)", "speedup");
+    std::printf("%-12s %8s %6zu %14.0f %10.2f %10.2f %9.2f\n",
+                rows[0].mode, "-", rows[0].batch, serial, rows[0].p50_us,
+                rows[0].p99_us, 1.0);
+
+    auto report = [&](Row row) {
+        row.speedup = row.offloads_per_sec / serial;
+        std::printf("%-12s %8zu %6zu %14.0f %10.2f %10.2f %9.2f\n",
+                    row.mode, row.depth, row.batch, row.offloads_per_sec,
+                    row.p50_us, row.p99_us, row.speedup);
+        rows.push_back(row);
+    };
+    for (const std::size_t depth : {1u, 2u, 4u, 8u, 16u, 32u})
+        report(runAsync(depth, 1));
+    for (const std::size_t depth : {8u, 16u})
+        report(runAsync(depth, kBatch));
+    writeJson(rows);
+
+    std::printf("\nPaper anchor: single-op descriptors overlap the\n"
+                "protocol round trips; batch descriptors amortise the\n"
+                "doorbell and completion ack across %zu messages — the\n"
+                "async front end at depth 8 must sustain >= 2x serial\n"
+                "synchronous throughput.\n",
+                kBatch);
+    return 0;
+}

@@ -197,6 +197,40 @@ class LogHistogram
 };
 
 /**
+ * Instantaneous-level tracker (queue depth, occupancy, outstanding
+ * ops): add()/sub() move the level, peak() remembers the high-water
+ * mark. Single-owner — gauges live inside per-simulation components
+ * (work queues), so no atomics; snapshot after the run.
+ */
+class Gauge
+{
+  public:
+    void
+    add(std::int64_t delta = 1)
+    {
+        value_ += delta;
+        if (value_ > peak_)
+            peak_ = value_;
+    }
+
+    void sub(std::int64_t delta = 1) { value_ -= delta; }
+
+    void
+    reset()
+    {
+        value_ = 0;
+        peak_ = 0;
+    }
+
+    std::int64_t value() const { return value_; }
+    std::int64_t peak() const { return peak_; }
+
+  private:
+    std::int64_t value_ = 0;
+    std::int64_t peak_ = 0;
+};
+
+/**
  * Named stats block: components register scalar getters and the
  * harness dumps them at end of run, gem5-stats style. Thread-safe:
  * every member serialises on an internal mutex.

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "common/log.h"
+#include "compcpy/queue.h"
 #include "crypto/tls_record.h"
 #include "smartdimm/deflate_dsa.h"
 
@@ -20,11 +21,19 @@ namespace sd::compcpy {
  */
 constexpr unsigned kMaxRecycleAttempts = 8;
 
+/**
+ * Bound on sync-facade submit retries against an injected kQueueFull.
+ * Each retry pumps the event queue (draining real occupancy); past
+ * the bound the facade force-submits — a lying "queue full" signal
+ * must not wedge a synchronous caller, mirroring the recycle bailout.
+ */
+constexpr unsigned kMaxSubmitRetries = 8;
+
 /** Continuation state of one in-flight CompCpy. */
 struct CompCpyEngine::Flow
 {
     CompCpyParams params;
-    std::function<void()> on_done;
+    std::function<void(const OpOutcome &)> on_done;
     std::size_t src_pages = 0;
     std::size_t dst_pages = 0;
     std::size_t cursor = 0;      ///< line/page progress in each stage
@@ -34,9 +43,18 @@ struct CompCpyEngine::Flow
     Tick begin = 0;              ///< start() tick for call latency
     std::uint64_t degraded_base = 0; ///< degradedReads() at start
     unsigned recycle_attempts = 0;   ///< Force-Recycle rounds so far
+    bool bailed = false;             ///< recycle loop hit its bound
 
     Flow() : line(kCacheLineSize) {}
 };
+
+CompCpyEngine::CompCpyEngine(cache::MemorySystem &memory, Driver &driver,
+                             SharedState &shared)
+    : memory_(memory), driver_(driver), shared_(shared)
+{
+}
+
+CompCpyEngine::~CompCpyEngine() = default;
 
 bool
 CompCpyEngine::injectFault(fault::Site site)
@@ -53,9 +71,61 @@ CompCpyEngine::destPages(const CompCpyParams &params)
     return divCeil(params.size, kPageSize);
 }
 
+WorkQueue &
+CompCpyEngine::syncQueue()
+{
+    if (!sync_queue_) {
+        WorkQueueConfig cfg;
+        cfg.id = 0;
+        cfg.mode = QueueMode::kShared; // the facade serves any caller
+        cfg.depth = 64;
+        cfg.max_inflight = 64;
+        sync_queue_ = std::make_unique<WorkQueue>(*this, cfg);
+    }
+    return *sync_queue_;
+}
+
 void
 CompCpyEngine::start(const CompCpyParams &params,
                      std::function<void()> on_done)
+{
+    // Submit-then-poll facade: a single-op descriptor whose record is
+    // consumed by the callback the moment it is written. Rejections
+    // (injected kQueueFull, or a genuinely full facade ring) retry
+    // after pumping the event queue, then force-submit — the bounded
+    // escape hatch that keeps the old start() contract: on_done always
+    // eventually fires.
+    auto consume = [cb = std::move(on_done)](const CompletionRecord &) {
+        cb();
+    };
+    const Descriptor desc = Descriptor::single(params);
+    for (unsigned attempt = 0; attempt < kMaxSubmitRetries; ++attempt) {
+        if (syncQueue().submit(desc, 0, consume))
+            return;
+        memory_.events().run();
+    }
+    syncQueue().submitForce(desc, 0, consume);
+}
+
+void
+CompCpyEngine::run(const CompCpyParams &params)
+{
+    const Descriptor desc = Descriptor::single(params);
+    std::optional<std::uint64_t> id;
+    for (unsigned attempt = 0;
+         attempt < kMaxSubmitRetries && !id; ++attempt) {
+        id = syncQueue().submit(desc);
+        if (!id)
+            memory_.events().run();
+    }
+    if (!id)
+        id = syncQueue().submitForce(desc);
+    syncQueue().wait(*id);
+}
+
+void
+CompCpyEngine::startOp(const CompCpyParams &params, std::uint32_t span,
+                       std::function<void(const OpOutcome &)> on_done)
 {
     // Alg. 2 lines 3-6: alignment checks.
     SD_ASSERT(isPageAligned(params.dbuf) && isPageAligned(params.sbuf),
@@ -72,33 +142,11 @@ CompCpyEngine::start(const CompCpyParams &params,
     flow->dst_pages = destPages(params);
     flow->begin = memory_.events().now();
     flow->degraded_base = memory_.degradedReads();
+    flow->span = span; // opened by the owning work queue at submit
     ++stats_.calls;
     stats_.pages_offloaded += flow->dst_pages;
 
-    auto &tr = trace::tracer();
-    if (tr.enabled()) {
-        flow->span = tr.beginSpan(
-            params.ulp == smartdimm::UlpKind::kTlsEncrypt ? "tls"
-                                                          : "deflate",
-            params.sbuf, params.dbuf, params.size, flow->begin);
-        // Device-side stages (transform/stage/recycle/use) attribute
-        // their events through these page bindings.
-        for (std::size_t p = 0; p < flow->src_pages; ++p)
-            tr.bindPage(params.sbuf / kPageSize + p, flow->span);
-        for (std::size_t p = 0; p < flow->dst_pages; ++p)
-            tr.bindPage(params.dbuf / kPageSize + p, flow->span);
-    }
-
     checkFreePages(flow);
-}
-
-void
-CompCpyEngine::run(const CompCpyParams &params)
-{
-    bool done = false;
-    start(params, [&done] { done = true; });
-    while (!done)
-        memory_.events().run();
 }
 
 void
@@ -130,6 +178,7 @@ CompCpyEngine::checkFreePages(std::shared_ptr<Flow> flow)
         // Unlikely path (Alg. 2 line 11): Force-Recycle.
         if (++flow->recycle_attempts > kMaxRecycleAttempts) {
             ++stats_.recycle_bailouts;
+            flow->bailed = true;
             SD_TRACE_EVENT(flow->span, trace::Stage::kFault,
                            memory_.events().now(), flow->params.dbuf);
             flushSource(flow);
@@ -398,7 +447,12 @@ CompCpyEngine::completeFlow(const std::shared_ptr<Flow> &flow,
                        memory_.events().now(), flow->params.dbuf);
     }
     call_latency_.sample(memory_.events().now() - flow->begin);
-    flow->on_done();
+
+    OpOutcome outcome;
+    outcome.degraded = degraded > 0;
+    outcome.rejected = fresh_rejections > 0;
+    outcome.bailout = flow->bailed;
+    flow->on_done(outcome);
 }
 
 void

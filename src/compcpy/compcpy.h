@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "cache/memory_system.h"
@@ -28,6 +29,8 @@
 #include "trace/trace.h"
 
 namespace sd::compcpy {
+
+class WorkQueue;
 
 /** Parameters of one CompCpy invocation. */
 struct CompCpyParams
@@ -43,6 +46,17 @@ struct CompCpyParams
     std::uint64_t message_id = 0;
 
     smartdimm::UlpKind ulp = smartdimm::UlpKind::kTlsEncrypt;
+};
+
+/**
+ * How one CompCpy op finished, reported to the owning work queue so
+ * its completion record can mirror the PR 5 fault outcomes.
+ */
+struct OpOutcome
+{
+    bool degraded = false; ///< ALERT_N-exhausted (degraded) reads seen
+    bool rejected = false; ///< device rejected a page registration
+    bool bailout = false;  ///< Force-Recycle loop hit its bound
 };
 
 /** Outcome counters for one engine instance. */
@@ -75,21 +89,32 @@ class CompCpyEngine
     };
 
     CompCpyEngine(cache::MemorySystem &memory, Driver &driver,
-                  SharedState &shared)
-        : memory_(memory), driver_(driver), shared_(shared)
-    {
-    }
+                  SharedState &shared);
+    ~CompCpyEngine();
 
     /**
-     * Asynchronous CompCpy. Drives the full Algorithm 2 sequence and
-     * invokes @p on_done when the copy (and therefore the inline
-     * offload registration + data movement) has completed. The
+     * Asynchronous CompCpy. Submits a single-op descriptor to the
+     * engine's internal work queue (see syncQueue()) and invokes
+     * @p on_done when its completion record lands — there is exactly
+     * one execution path, the descriptor/work-queue one. The
      * destination must then be consumed via use().
      */
     void start(const CompCpyParams &params, std::function<void()> on_done);
 
-    /** Synchronous convenience: start() + pump the event queue. */
+    /**
+     * Synchronous CompCpy: submit to the internal work queue, then
+     * poll (pumping the event queue) until the completion record is
+     * reaped — submit-then-poll is the only way an op executes.
+     */
     void run(const CompCpyParams &params);
+
+    /**
+     * The internal work queue backing start()/run(). Lazily created
+     * (queue id 0, shared mode, deep enough that the facade never
+     * genuinely backpressures its callers). Exposed so tests and
+     * stats dumps can observe the sync path's queue accounting.
+     */
+    WorkQueue &syncQueue();
 
     /**
      * USE(dbuf) (Alg. 2 line 32-33): flush the destination so the
@@ -132,8 +157,26 @@ class CompCpyEngine
     /** Contribute engine counters to a stats dump. */
     void reportStats(trace::StatsBlock &block) const;
 
+    // Accessors the work-queue front end drives the simulation with.
+    cache::MemorySystem &memory() { return memory_; }
+    Driver &driver() { return driver_; }
+    fault::FaultPlan *faultPlan() { return fault_plan_; }
+
   private:
+    friend class WorkQueue; ///< sole caller of startOp()
+
     struct Flow; ///< per-invocation continuation state
+
+    /**
+     * Execute one op of a dispatched descriptor: the full Algorithm 2
+     * sequence (freePages check, Force-Recycle, flush, registration,
+     * copy loop, trailer). Private by design — every op reaches the
+     * engine through a WorkQueue, so the queue is the one execution
+     * path (tools/sdlint.py enforces the same at the source level).
+     * @p span is the trace span the owning queue opened at submit.
+     */
+    void startOp(const CompCpyParams &params, std::uint32_t span,
+                 std::function<void(const OpOutcome &)> on_done);
 
     void checkFreePages(std::shared_ptr<Flow> flow);
     void forceRecycle(std::shared_ptr<Flow> flow,
@@ -155,6 +198,7 @@ class CompCpyEngine
     bool last_call_degraded_ = false;
     CompCpyStats stats_;
     LogHistogram call_latency_;
+    std::unique_ptr<WorkQueue> sync_queue_; ///< start()/run() facade
 };
 
 } // namespace sd::compcpy

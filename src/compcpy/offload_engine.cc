@@ -6,6 +6,17 @@
 
 namespace sd::compcpy {
 
+WorkQueueConfig
+AdaptiveTlsEngine::queueConfig()
+{
+    WorkQueueConfig cfg;
+    cfg.id = 1; // the sync facade owns queue 0
+    cfg.mode = QueueMode::kDedicated;
+    cfg.depth = 32;
+    cfg.max_inflight = 8;
+    return cfg;
+}
+
 AdaptiveTlsEngine::AdaptiveTlsEngine(cache::MemorySystem &memory,
                                      Driver &driver,
                                      CompCpyEngine::SharedState &shared,
@@ -13,7 +24,8 @@ AdaptiveTlsEngine::AdaptiveTlsEngine(cache::MemorySystem &memory,
                                      const crypto::GcmIv &static_iv,
                                      const AdaptiveConfig &adaptive)
     : memory_(memory), driver_(driver), compcpy_(memory, driver, shared),
-      probe_(memory.llc(), adaptive), static_iv_(static_iv)
+      queue_(compcpy_, queueConfig()), probe_(memory.llc(), adaptive),
+      static_iv_(static_iv)
 {
     std::memcpy(key_, key, sizeof(key_));
 }
@@ -35,6 +47,9 @@ AdaptiveTlsEngine::registerStats(trace::StatsRegistry &registry,
     registry.add(prefix + "compcpy", [this](trace::StatsBlock &block) {
         compcpy_.reportStats(block);
     });
+    registry.add(prefix + "queue", [this](trace::StatsBlock &block) {
+        queue_.reportStats(block);
+    });
 }
 
 EngineRecord
@@ -42,65 +57,127 @@ AdaptiveTlsEngine::protectRecord(const std::uint8_t *plain,
                                  std::size_t len,
                                  std::optional<ProcessedOn> force)
 {
-    SD_ASSERT(len > 0 && len <= crypto::kTlsMaxFragment,
-              "record size out of range");
+    auto records = protectRecords({{plain, len}}, force);
+    return std::move(records.front());
+}
 
-    // Per-record nonce: static IV XOR big-endian sequence number, the
-    // same derivation the software record layer uses.
-    crypto::GcmIv nonce = static_iv_;
-    const std::uint64_t seq = seq_++;
-    for (int i = 0; i < 8; ++i)
-        nonce[4 + i] ^= static_cast<std::uint8_t>(seq >> (56 - 8 * i));
+std::vector<EngineRecord>
+AdaptiveTlsEngine::protectRecords(
+    const std::vector<std::pair<const std::uint8_t *, std::size_t>>
+        &plains,
+    std::optional<ProcessedOn> force)
+{
+    SD_ASSERT(!plains.empty(), "empty record batch");
 
+    // One placement decision for the whole batch — the per-queue
+    // granularity the work-queue front end buys us.
     const ProcessedOn target =
         force.value_or(probe_.shouldOffload() ? ProcessedOn::kSmartDimm
                                               : ProcessedOn::kCpu);
 
-    EngineRecord record;
-    record.on = target;
+    std::vector<EngineRecord> records;
+    records.reserve(plains.size());
 
-    if (target == ProcessedOn::kCpu) {
-        ++cpu_records_;
-        crypto::GcmContext ctx(key_, crypto::Aes::KeySize::k128);
-        record.body.resize(len + crypto::kTlsTagSize);
-        const crypto::GcmTag tag =
-            ctx.encrypt(nonce, plain, len, record.body.data());
-        std::memcpy(record.body.data() + len, tag.data(), tag.size());
-        return record;
+    // Per-record nonces: static IV XOR big-endian sequence number,
+    // the same derivation the software record layer uses.
+    std::vector<crypto::GcmIv> nonces;
+    nonces.reserve(plains.size());
+    for (std::size_t i = 0; i < plains.size(); ++i) {
+        SD_ASSERT(plains[i].second > 0 &&
+                      plains[i].second <= crypto::kTlsMaxFragment,
+                  "record size out of range");
+        crypto::GcmIv nonce = static_iv_;
+        const std::uint64_t seq = seq_++;
+        for (int b = 0; b < 8; ++b)
+            nonce[4 + b] ^=
+                static_cast<std::uint8_t>(seq >> (56 - 8 * b));
+        nonces.push_back(nonce);
     }
 
-    ++offloaded_records_;
+    if (target == ProcessedOn::kCpu) {
+        crypto::GcmContext ctx(key_, crypto::Aes::KeySize::k128);
+        for (std::size_t i = 0; i < plains.size(); ++i) {
+            const auto [plain, len] = plains[i];
+            ++cpu_records_;
+            EngineRecord record;
+            record.on = ProcessedOn::kCpu;
+            record.body.resize(len + crypto::kTlsTagSize);
+            const crypto::GcmTag tag =
+                ctx.encrypt(nonces[i], plain, len, record.body.data());
+            std::memcpy(record.body.data() + len, tag.data(),
+                        tag.size());
+            records.push_back(std::move(record));
+        }
+        return records;
+    }
 
-    // SmartDIMM path: stage the plaintext in an sbuf, CompCpy it into
-    // a dbuf, flush (USE) and read back ciphertext || tag.
-    const std::size_t src_bytes = divCeil(len, kPageSize) * kPageSize;
-    const std::size_t dst_bytes =
-        divCeil(len + crypto::kTlsTagSize, kPageSize) * kPageSize;
-    const Addr sbuf = driver_.alloc(src_bytes);
-    const Addr dbuf = driver_.alloc(dst_bytes);
+    // SmartDIMM path: stage every plaintext in an sbuf, pack the
+    // whole batch into one descriptor, submit, and reap the single
+    // fanned-in completion record.
+    struct Staged
+    {
+        Addr sbuf = 0;
+        Addr dbuf = 0;
+        std::size_t src_bytes = 0;
+        std::size_t dst_bytes = 0;
+    };
+    std::vector<Staged> staged;
+    staged.reserve(plains.size());
+    std::vector<CompCpyParams> ops;
+    ops.reserve(plains.size());
 
-    // Application writes the plaintext (padding the tail line).
-    std::vector<std::uint8_t> staged(src_bytes, 0);
-    std::memcpy(staged.data(), plain, len);
-    memory_.writeSync(sbuf, staged.data(), staged.size());
+    for (std::size_t i = 0; i < plains.size(); ++i) {
+        const auto [plain, len] = plains[i];
+        ++offloaded_records_;
 
-    CompCpyParams params;
-    params.dbuf = dbuf;
-    params.sbuf = sbuf;
-    params.size = len;
-    params.ulp = smartdimm::UlpKind::kTlsEncrypt;
-    params.message_id = next_message_id_++;
-    std::memcpy(params.key, key_, sizeof(params.key));
-    params.iv = nonce;
+        Staged s;
+        s.src_bytes = divCeil(len, kPageSize) * kPageSize;
+        s.dst_bytes =
+            divCeil(len + crypto::kTlsTagSize, kPageSize) * kPageSize;
+        s.sbuf = driver_.alloc(s.src_bytes);
+        s.dbuf = driver_.alloc(s.dst_bytes);
 
-    compcpy_.run(params);
-    compcpy_.useSync(dbuf, dst_bytes);
-    record.body =
-        compcpy_.readResult(dbuf, len + crypto::kTlsTagSize);
+        // Application writes the plaintext (padding the tail line).
+        std::vector<std::uint8_t> page(s.src_bytes, 0);
+        std::memcpy(page.data(), plain, len);
+        memory_.writeSync(s.sbuf, page.data(), page.size());
+        staged.push_back(s);
 
-    driver_.release(sbuf, src_bytes);
-    driver_.release(dbuf, dst_bytes);
-    return record;
+        CompCpyParams params;
+        params.dbuf = s.dbuf;
+        params.sbuf = s.sbuf;
+        params.size = len;
+        params.ulp = smartdimm::UlpKind::kTlsEncrypt;
+        params.message_id = next_message_id_++;
+        std::memcpy(params.key, key_, sizeof(params.key));
+        params.iv = nonces[i];
+        ops.push_back(params);
+    }
+
+    const Descriptor desc = Descriptor::batch(std::move(ops));
+    std::optional<std::uint64_t> id = queue_.submit(desc);
+    if (!id)
+        id = queue_.submitForce(desc);
+    const CompletionRecord rec = queue_.wait(*id);
+
+    // Per-queue fallback: one degraded batch flips the probe once, so
+    // the *next* reap routes to the CPU while contention re-learns.
+    if (rec.status != CompletionStatus::kSuccess)
+        probe_.noteDegraded();
+
+    for (std::size_t i = 0; i < plains.size(); ++i) {
+        const auto len = plains[i].second;
+        const Staged &s = staged[i];
+        compcpy_.useSync(s.dbuf, s.dst_bytes);
+        EngineRecord record;
+        record.on = ProcessedOn::kSmartDimm;
+        record.body =
+            compcpy_.readResult(s.dbuf, len + crypto::kTlsTagSize);
+        records.push_back(std::move(record));
+        driver_.release(s.sbuf, s.src_bytes);
+        driver_.release(s.dbuf, s.dst_bytes);
+    }
+    return records;
 }
 
 } // namespace sd::compcpy

@@ -10,11 +10,14 @@
 #define SD_COMPCPY_OFFLOAD_ENGINE_H
 
 #include <cstdint>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "compcpy/adaptive.h"
 #include "compcpy/compcpy.h"
 #include "compcpy/driver.h"
+#include "compcpy/queue.h"
 #include "compress/deflate.h"
 #include "crypto/tls_record.h"
 
@@ -51,13 +54,32 @@ class AdaptiveTlsEngine
     /**
      * Protect @p len plaintext bytes as one record body
      * (ciphertext || tag), on CPU or SmartDIMM per the probe.
+     * Equivalent to a one-record protectRecords() batch.
      * @param force optional override of the adaptive decision
      */
     EngineRecord protectRecord(const std::uint8_t *plain, std::size_t len,
                                std::optional<ProcessedOn> force = {});
 
+    /**
+     * Protect a batch of records through the engine's dedicated work
+     * queue: one placement decision for the whole batch, one batch
+     * descriptor fanned out to per-record ops, one completion record
+     * fanned back in. CPU fallback is *per queue*, not per call — a
+     * non-success completion record notes degradation on the probe
+     * once per reaped batch, so the next batch routes to the CPU
+     * while the probe re-learns.
+     * @param force optional override of the adaptive decision
+     */
+    std::vector<EngineRecord> protectRecords(
+        const std::vector<std::pair<const std::uint8_t *, std::size_t>>
+            &plains,
+        std::optional<ProcessedOn> force = {});
+
     /** Probe access (callers sample it at their request cadence). */
     LlcContentionProbe &probe() { return probe_; }
+
+    /** The dedicated work queue batches offload through. */
+    WorkQueue &queue() { return queue_; }
 
     const CompCpyStats &compcpyStats() const { return compcpy_.stats(); }
     std::uint64_t cpuRecords() const { return cpu_records_; }
@@ -73,9 +95,13 @@ class AdaptiveTlsEngine
                        const std::string &prefix = "") const;
 
   private:
+    /** Work-queue geometry of the engine's dedicated queue. */
+    static WorkQueueConfig queueConfig();
+
     cache::MemorySystem &memory_;
     Driver &driver_;
     CompCpyEngine compcpy_;
+    WorkQueue queue_;
     LlcContentionProbe probe_;
     std::uint8_t key_[16];
     crypto::GcmIv static_iv_;

@@ -15,7 +15,7 @@ constexpr std::array<const char *, kSiteCount> kSiteNames = {
     "alert_storm",        "write_drain_delay", "free_pages_lie",
     "scratchpad_exhaust", "config_mem_exhaust", "cuckoo_conflict",
     "cuckoo_insert_fail", "net_loss",          "net_reorder",
-    "ordered_fence",
+    "ordered_fence",      "queue_full",        "lost_completion",
 };
 
 } // namespace

@@ -47,6 +47,8 @@ enum class Site : std::uint8_t
     kNetLoss,           ///< net: scripted segment drop episode
     kNetReorder,        ///< net: scripted segment reorder
     kOrderedFence,      ///< compcpy: ordered-mode fence elided for a window
+    kQueueFull,         ///< compcpy: work-queue submit rejected as full
+    kLostCompletion,    ///< compcpy: completion record drop (poll recovery)
     kCount,
 };
 

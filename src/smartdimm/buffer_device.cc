@@ -86,6 +86,20 @@ BufferDevice::handleMmioRead(Addr addr, std::uint8_t *data)
         std::memcpy(data, words, sizeof(words));
         break;
       }
+      case MmioReg::kQueueStatus: {
+        // One 64-byte read snapshots every tracked queue: word 0 is
+        // the queue count, then one word per queue packing
+        // submitted (high 32) | completed (low 32). Poll-timeout
+        // recovery diffs `completed` against host-side records to
+        // detect dropped completions.
+        std::uint64_t words[8] = {};
+        words[0] = kMaxDeviceQueues;
+        for (std::size_t q = 0; q < kMaxDeviceQueues; ++q)
+            words[1 + q] = (std::uint64_t{queues_[q].submitted} << 32) |
+                           queues_[q].completed;
+        std::memcpy(data, words, sizeof(words));
+        break;
+      }
       case MmioReg::kPendingList: {
         // Up to 7 pending destination-page physical addresses after a
         // count word — one 64-byte register read per batch.
@@ -270,6 +284,20 @@ BufferDevice::handleMmioWrite(Addr addr, const std::uint8_t *data)
           default:
             SD_WARN("unknown registration opcode %u", opcode);
         }
+        break;
+      }
+      case MmioReg::kQueueDoorbell: {
+        const auto db = QueueDoorbell::unpack(data);
+        ++stats_.doorbell_rings;
+        if (db.queue < kMaxDeviceQueues)
+            ++queues_[db.queue].submitted;
+        break;
+      }
+      case MmioReg::kQueueComplete: {
+        const auto qc = QueueCompletion::unpack(data);
+        ++stats_.completion_acks;
+        if (qc.queue < kMaxDeviceQueues)
+            ++queues_[qc.queue].completed;
         break;
       }
       default:
@@ -512,6 +540,10 @@ BufferDevice::reportStats(trace::StatsBlock &block) const
                  static_cast<double>(stats_.rejected_registrations));
     block.scalar("freepages_lies",
                  static_cast<double>(stats_.freepages_lies));
+    block.scalar("doorbell_rings",
+                 static_cast<double>(stats_.doorbell_rings));
+    block.scalar("completion_acks",
+                 static_cast<double>(stats_.completion_acks));
 
     const ScratchpadStats &sp = scratchpad_.stats();
     block.scalar("scratchpad.allocs", static_cast<double>(sp.allocs));

@@ -22,6 +22,7 @@
 #ifndef SD_SMARTDIMM_BUFFER_DEVICE_H
 #define SD_SMARTDIMM_BUFFER_DEVICE_H
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -61,6 +62,15 @@ struct ArbiterStats
     std::uint64_t rejected_registrations = 0; ///< resources exhausted
     std::uint64_t freepages_lies = 0;     ///< injected kFreePages lies
     std::uint64_t addr_remap_checks = 0;
+    std::uint64_t doorbell_rings = 0;     ///< kQueueDoorbell writes
+    std::uint64_t completion_acks = 0;    ///< kQueueComplete writes
+};
+
+/** Device-side view of one host work queue (kQueueStatus contents). */
+struct DeviceQueueState
+{
+    std::uint32_t submitted = 0; ///< doorbells rung
+    std::uint32_t completed = 0; ///< completion acks
 };
 
 /** The buffer device, slotted behind a channel's memory controller. */
@@ -89,6 +99,13 @@ class BufferDevice : public mem::DimmDevice
     const ArbiterStats &stats() const { return stats_; }
     const DsaStats &dsaStats() const { return dsa_stats_; }
     const Scratchpad &scratchpad() const { return scratchpad_; }
+
+    /** kQueueStatus contents for queue @p id (zeroes when untracked). */
+    DeviceQueueState
+    queueState(std::size_t id) const
+    {
+        return id < kMaxDeviceQueues ? queues_[id] : DeviceQueueState{};
+    }
 
     /** Contribute arbiter + DSA + scratchpad counters to a dump. */
     void reportStats(trace::StatsBlock &block) const;
@@ -181,6 +198,8 @@ class BufferDevice : public mem::DimmDevice
     fault::FaultPlan *fault_plan_ = nullptr;
     ArbiterStats stats_;
     DsaStats dsa_stats_;
+    /** Per-queue doorbell/ack counters surfaced via kQueueStatus. */
+    std::array<DeviceQueueState, kMaxDeviceQueues> queues_{};
 };
 
 } // namespace sd::smartdimm

@@ -62,12 +62,19 @@ struct SmartDimmConfig
 /** MMIO register offsets (64-byte-register granularity). */
 enum class MmioReg : Addr
 {
-    kFreePages = 0x000,    ///< RO: current free scratchpad pages
-    kRegister = 0x040,     ///< WO: (sbuf, dbuf, context ref) registration
-    kPendingList = 0x080,  ///< RO: pending (un-recycled) page addresses
-    kContextWrite = 0x0C0, ///< WO: streaming context payload writes
-    kFaultStatus = 0x100,  ///< RO: rejected registrations, lie count
+    kFreePages = 0x000,     ///< RO: current free scratchpad pages
+    kRegister = 0x040,      ///< WO: (sbuf, dbuf, context ref) registration
+    kPendingList = 0x080,   ///< RO: pending (un-recycled) page addresses
+    kContextWrite = 0x0C0,  ///< WO: streaming context payload writes
+    kFaultStatus = 0x100,   ///< RO: rejected registrations, lie count
+    kQueueDoorbell = 0x140, ///< WO: work-queue descriptor submission ring
+    kQueueComplete = 0x180, ///< WO: work-queue descriptor completion ack
+    kQueueStatus = 0x1C0,   ///< RO: per-queue submitted/completed counts
 };
+
+/** Work queues the device tracks in its kQueueStatus register (one
+ *  count word + 7 per-queue words fit the 64-byte read). */
+inline constexpr std::size_t kMaxDeviceQueues = 7;
 
 } // namespace sd::smartdimm
 

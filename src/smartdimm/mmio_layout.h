@@ -84,6 +84,65 @@ struct DeflatePageRegistration
 static_assert(sizeof(DeflatePageRegistration) <= kCacheLineSize,
               "registration must fit one MMIO burst");
 
+/**
+ * Work-queue doorbell ring: one write to MmioReg::kQueueDoorbell tells
+ * the device a descriptor (possibly a batch of ops) entered queue
+ * `queue`. The device only counts — dispatch stays host-side — but the
+ * count is what poll-timeout recovery diffs against after a dropped
+ * completion record.
+ */
+struct QueueDoorbell
+{
+    std::uint16_t queue = 0;     ///< work-queue id (< kMaxDeviceQueues)
+    std::uint16_t submitter = 0; ///< logical submitter (shared queues)
+    std::uint32_t ops = 0;       ///< ops packed in the descriptor
+    std::uint64_t seq = 0;       ///< descriptor id within the queue
+
+    void
+    pack(std::uint8_t out[kCacheLineSize]) const
+    {
+        std::memset(out, 0, kCacheLineSize);
+        std::memcpy(out, this, sizeof(*this));
+    }
+
+    static QueueDoorbell
+    unpack(const std::uint8_t in[kCacheLineSize])
+    {
+        QueueDoorbell db;
+        std::memcpy(&db, in, sizeof(db));
+        return db;
+    }
+};
+static_assert(sizeof(QueueDoorbell) <= kCacheLineSize,
+              "doorbell must fit one MMIO burst");
+
+/** Completion acknowledgement written to MmioReg::kQueueComplete when
+ *  every op of a descriptor finished; mirrors QueueDoorbell. */
+struct QueueCompletion
+{
+    std::uint16_t queue = 0;
+    std::uint16_t status = 0; ///< compcpy::CompletionStatus value
+    std::uint32_t ops = 0;
+    std::uint64_t seq = 0;
+
+    void
+    pack(std::uint8_t out[kCacheLineSize]) const
+    {
+        std::memset(out, 0, kCacheLineSize);
+        std::memcpy(out, this, sizeof(*this));
+    }
+
+    static QueueCompletion
+    unpack(const std::uint8_t in[kCacheLineSize])
+    {
+        QueueCompletion qc;
+        std::memcpy(&qc, in, sizeof(qc));
+        return qc;
+    }
+};
+static_assert(sizeof(QueueCompletion) <= kCacheLineSize,
+              "completion ack must fit one MMIO burst");
+
 } // namespace sd::smartdimm
 
 #endif // SD_SMARTDIMM_MMIO_LAYOUT_H

@@ -19,7 +19,7 @@ stageName(Stage s)
             "flush",   "register", "copy",          "transform",
             "stage",   "recycle",  "force_recycle", "use",
             "alert",   "fault",    "ddr_rd",        "ddr_wr",
-            "ddr_act", "ddr_pre",
+            "ddr_act", "ddr_pre",  "submit",        "complete",
         };
     const auto i = static_cast<std::size_t>(s);
     return i < kNames.size() ? kNames[i] : "?";

@@ -71,6 +71,8 @@ enum class Stage : std::uint8_t
     kDdrWrite,      ///< mirrored wrCAS
     kDdrActivate,   ///< mirrored ACT
     kDdrPrecharge,  ///< mirrored PRE
+    kSubmit,        ///< work-queue descriptor accepted (doorbell rung)
+    kComplete,      ///< completion record written for a descriptor op
     kCount,
 };
 

@@ -27,6 +27,7 @@
 #include "common/random.h"
 #include "compcpy/compcpy.h"
 #include "compcpy/driver.h"
+#include "compcpy/queue.h"
 #include "fault/fault.h"
 #include "net/tcp_stream.h"
 #include "sim/event_queue.h"
@@ -108,6 +109,7 @@ struct SoakResult
     smartdimm::DsaStats dsa;
     smartdimm::CuckooStats cuckoo;
     compcpy::CompCpyStats engine;
+    compcpy::WorkQueueStats queue; ///< the sync facade's queue
     std::uint64_t degraded_reads = 0;
 
     bool
@@ -183,6 +185,7 @@ runWorkload(FaultPlan *plan)
     result.dsa = sys.dimm.dsaStats();
     result.cuckoo = sys.dimm.translationTable().stats();
     result.engine = sys.engine.stats();
+    result.queue = sys.engine.syncQueue().stats();
     result.degraded_reads = sys.memory->degradedReads();
     return result;
 }
@@ -200,6 +203,7 @@ makeChaosPlan(std::uint64_t seed)
         Site::kFreePagesLie,    Site::kScratchpadExhaust,
         Site::kConfigMemExhaust, Site::kCuckooConflict,
         Site::kCuckooInsertFail, Site::kOrderedFence,
+        Site::kQueueFull,        Site::kLostCompletion,
     };
     for (const Site site : sites) {
         if (!rng.chance(0.5))
@@ -237,6 +241,19 @@ checkSoak(std::uint64_t seed, const FaultPlan &plan,
     EXPECT_EQ(run.engine.fence_violations,
               plan.injected(Site::kOrderedFence));
     EXPECT_EQ(run.degraded_reads, run.ctrl.degraded_reads);
+    // Work-queue conservation: the sync facade's queue never fills
+    // genuinely in this serial workload, so every rejected submit is
+    // an injection; every dropped record is recovered, never bailed.
+    EXPECT_EQ(run.queue.rejected_full, plan.injected(Site::kQueueFull));
+    EXPECT_EQ(run.queue.lost_records,
+              plan.injected(Site::kLostCompletion));
+    EXPECT_EQ(run.queue.recovered_records, run.queue.lost_records);
+    EXPECT_EQ(run.queue.completions, run.queue.submitted);
+    EXPECT_EQ(run.queue.reaped, run.queue.completions)
+        << "every completion record must be reaped";
+    EXPECT_EQ(run.queue.bailouts, 0u)
+        << "recovery must account for every lost record";
+    EXPECT_EQ(run.queue.submitted_ops, run.engine.calls);
     EXPECT_EQ(run.engine.degraded_calls > 0,
               run.engine.rejected_registrations > 0)
         << "in-call degradation == rejections in this workload";

@@ -16,6 +16,10 @@ cannot express because they encode *project* contracts:
   mmio          MmioReg register offsets are unique and 8-byte aligned
                 (the DSA decoder does 64-bit MMIO loads).
   guards        every src/ header has an #ifndef SD_* include guard.
+  queue-bypass  CompCpyEngine::startOp() is the engine's private
+                execution hook for WorkQueue; everything else must go
+                through a queue (or the sync facade run()/start()) so
+                there is exactly one execution path.
 
 Usage:
   tools/sdlint.py [--root DIR]     lint the tree (exit 1 on findings)
@@ -267,7 +271,8 @@ RECOVERABLE_ASSERT_BASELINE = {
     "smartdimm/tls_dsa.cc": 4,
     "smartdimm/bank_table.h": 1,
     "compcpy/compcpy.cc": 3,
-    "compcpy/offload_engine.cc": 1,
+    "compcpy/offload_engine.cc": 2,
+    "compcpy/queue.cc": 5,
     "compcpy/driver.h": 2,
     "net/tcp_stream.cc": 1,
 }
@@ -294,8 +299,41 @@ def check_recoverable_assert(path: pathlib.Path, text: str,
              "genuine invariant, raise the baseline in sdlint.py")]
 
 
+# --------------------------------------------------------------------------
+# Rule: queue-bypass
+# --------------------------------------------------------------------------
+
+QUEUE_BYPASS_RE = re.compile(r"\bstartOp\s*\(")
+
+# startOp() is CompCpyEngine's private execution hook; only the queue
+# (which owns dispatch ordering) and the engine itself (declaration +
+# sync facade) may name it. Any other call site is skipping descriptor
+# accounting, completion records and the per-queue fallback decision.
+QUEUE_BYPASS_ALLOWED = {
+    "compcpy/compcpy.h",
+    "compcpy/compcpy.cc",
+    "compcpy/queue.cc",
+}
+
+
+def check_queue_bypass(path: pathlib.Path, text: str, clean: str) -> list:
+    parts = path.parts
+    rel = "/".join(parts[-2:]) if len(parts) >= 2 else parts[-1]
+    if rel in QUEUE_BYPASS_ALLOWED:
+        return []
+    findings = []
+    for m in QUEUE_BYPASS_RE.finditer(clean):
+        findings.append(
+            (path, line_of(clean, m.start()), "queue-bypass",
+             "startOp() bypasses the work-queue front end; submit a "
+             "Descriptor through a WorkQueue (or the sync facade "
+             "run()/start()) so the call is accounted and reaped"))
+    return findings
+
+
 CHECKS = [check_determinism, check_span_balance, check_iostream,
-          check_mmio, check_guards, check_recoverable_assert]
+          check_mmio, check_guards, check_recoverable_assert,
+          check_queue_bypass]
 
 
 def lint_text(path: pathlib.Path, text: str) -> list:
@@ -386,6 +424,15 @@ SELF_TESTS = [
      []),  # not an injected module
     ("mem/new_unit2", "// SD_ASSERT(x) would be wrong here\nint x;",
      ".cc", []),  # comments don't count
+    # queue-bypass cases
+    ("compcpy/rogue_caller", "void f() { engine.startOp(p, s, cb); }",
+     ".cc", ["queue-bypass"]),
+    ("compcpy/queue", "void f() { engine_.startOp(p, s, cb); }", ".cc",
+     []),  # the queue is the blessed dispatcher
+    ("compcpy/compcpy", "void f() { startOp(p, s, cb); }", ".cc",
+     []),  # the engine's own sync facade
+    ("smartdimm/rogue2", "// startOp() is off limits\nint x;", ".cc",
+     []),  # comments don't count
 ]
 
 
