@@ -9,10 +9,13 @@ namespace sd::cache {
 
 Cache::Cache(const CacheConfig &config)
     : config_(config), cpu_ways_(std::min(config.cpu_ways, config.ways)),
-      lines_(config.sets() * config.ways),
-      data_(lines_.size() * kCacheLineSize, 0)
+      sets_(config.sets()),
+      set_mask_((sets_ & (sets_ - 1)) == 0 ? sets_ - 1 : 0),
+      tags_(sets_ * config.ways, kInvalidTag),
+      lru_(tags_.size(), 0), dirty_(tags_.size(), 0),
+      data_(tags_.size() * kCacheLineSize, 0)
 {
-    SD_ASSERT(config.sets() > 0, "cache smaller than one set");
+    SD_ASSERT(sets_ > 0, "cache smaller than one set");
     SD_ASSERT(config.ddio_ways <= config.ways,
               "DDIO ways exceed associativity");
 }
@@ -20,24 +23,22 @@ Cache::Cache(const CacheConfig &config)
 std::size_t
 Cache::setIndex(Addr addr) const
 {
-    return (addr / kCacheLineSize) % config_.sets();
+    const Addr line = addr / kCacheLineSize;
+    // Power-of-two set counts (the common geometry) probe with a
+    // mask; the general case pays the modulo.
+    return set_mask_ ? (line & set_mask_) : (line % sets_);
 }
 
-Cache::Line *
-Cache::find(Addr addr)
-{
-    const Addr line = lineAlign(addr);
-    Line *set = lines_.data() + setIndex(line) * config_.ways;
-    for (unsigned w = 0; w < config_.ways; ++w)
-        if (set[w].valid && set[w].tag == line)
-            return set + w;
-    return nullptr;
-}
-
-const Cache::Line *
+std::size_t
 Cache::find(Addr addr) const
 {
-    return const_cast<Cache *>(this)->find(addr);
+    const Addr line = lineAlign(addr);
+    const std::size_t base = setIndex(line) * config_.ways;
+    const Addr *tags = tags_.data() + base;
+    for (unsigned w = 0; w < config_.ways; ++w)
+        if (tags[w] == line)
+            return base + w;
+    return kNotFound;
 }
 
 AccessResult
@@ -47,11 +48,11 @@ Cache::access(Addr addr, bool is_write, AllocClass cls,
     const Addr line_addr = lineAlign(addr);
     AccessResult result;
 
-    if (Line *line = find(line_addr)) {
+    if (const std::size_t slot = find(line_addr); slot != kNotFound) {
         ++stats_.hits;
         ++probe_hits_;
-        line->lru = ++lru_clock_;
-        line->dirty |= is_write;
+        lru_[slot] = ++lru_clock_;
+        dirty_[slot] |= is_write;
         result.hit = true;
         return result;
     }
@@ -72,30 +73,29 @@ Cache::access(Addr addr, bool is_write, AllocClass cls,
         hi = std::max(1u, cpu_ways_);
     }
 
-    Line *set = lines_.data() + setIndex(line_addr) * config_.ways;
-    Line *victim = set + lo;
+    const std::size_t base = setIndex(line_addr) * config_.ways;
+    std::size_t victim = base + lo;
     for (unsigned w = lo; w < hi; ++w) {
-        if (!set[w].valid) {
-            victim = set + w;
+        const std::size_t slot = base + w;
+        if (tags_[slot] == kInvalidTag) {
+            victim = slot;
             break;
         }
-        if (set[w].lru < victim->lru)
-            victim = set + w;
+        if (lru_[slot] < lru_[victim])
+            victim = slot;
     }
 
-    if (victim->valid && victim->dirty) {
-        result.writeback = victim->tag;
-        const std::size_t slot =
-            static_cast<std::size_t>(victim - lines_.data());
+    if (tags_[victim] != kInvalidTag && dirty_[victim]) {
+        result.writeback = tags_[victim];
         std::memcpy(result.writeback_data.data(),
-                    data_.data() + slot * kCacheLineSize, kCacheLineSize);
+                    data_.data() + victim * kCacheLineSize,
+                    kCacheLineSize);
         ++stats_.writebacks;
     }
 
-    victim->tag = line_addr;
-    victim->valid = true;
-    victim->dirty = is_write;
-    victim->lru = ++lru_clock_;
+    tags_[victim] = line_addr;
+    dirty_[victim] = is_write;
+    lru_[victim] = ++lru_clock_;
     ++stats_.fills;
     result.filled = !(is_write && full_line_store);
     return result;
@@ -106,19 +106,17 @@ Cache::flush(Addr addr)
 {
     ++stats_.flushes;
     FlushResult result;
-    if (Line *line = find(addr)) {
+    if (const std::size_t slot = find(addr); slot != kNotFound) {
         result.present = true;
-        result.dirty = line->dirty;
-        if (line->dirty) {
+        result.dirty = dirty_[slot] != 0;
+        if (result.dirty) {
             ++stats_.flush_dirty;
-            const std::size_t slot =
-                static_cast<std::size_t>(line - lines_.data());
             std::memcpy(result.data.data(),
                         data_.data() + slot * kCacheLineSize,
                         kCacheLineSize);
         }
-        line->valid = false;
-        line->dirty = false;
+        tags_[slot] = kInvalidTag;
+        dirty_[slot] = 0;
     }
     return result;
 }
@@ -126,10 +124,9 @@ Cache::flush(Addr addr)
 std::uint8_t *
 Cache::dataPtr(Addr addr)
 {
-    Line *line = find(addr);
-    if (!line)
+    const std::size_t slot = find(addr);
+    if (slot == kNotFound)
         return nullptr;
-    const std::size_t slot = static_cast<std::size_t>(line - lines_.data());
     return data_.data() + slot * kCacheLineSize;
 }
 
@@ -142,14 +139,14 @@ Cache::dataPtr(Addr addr) const
 bool
 Cache::contains(Addr addr) const
 {
-    return find(addr) != nullptr;
+    return find(addr) != kNotFound;
 }
 
 bool
 Cache::isDirty(Addr addr) const
 {
-    const Line *line = find(addr);
-    return line != nullptr && line->dirty;
+    const std::size_t slot = find(addr);
+    return slot != kNotFound && dirty_[slot];
 }
 
 void

@@ -140,21 +140,30 @@ class Cache
     double probeMissRate();
 
   private:
-    struct Line
-    {
-        Addr tag = 0;
-        bool valid = false;
-        bool dirty = false;
-        std::uint64_t lru = 0;
-    };
+    /** Tag slot value marking an invalid way (real tags are
+     *  line-aligned addresses and can never equal ~0). */
+    static constexpr Addr kInvalidTag = ~Addr{0};
+
+    /** Absent-line sentinel for find(). */
+    static constexpr std::size_t kNotFound = ~std::size_t{0};
 
     std::size_t setIndex(Addr addr) const;
-    Line *find(Addr addr);
-    const Line *find(Addr addr) const;
+    /** @return flat line slot (set * ways + way), or kNotFound. */
+    std::size_t find(Addr addr) const;
 
     CacheConfig config_;
     unsigned cpu_ways_;
-    std::vector<Line> lines_; ///< sets x ways, row-major
+    std::size_t sets_;     ///< cached config_.sets()
+    std::size_t set_mask_; ///< sets_ - 1 when a power of two, else 0
+    /**
+     * Structure-of-arrays line state (sets x ways, row-major). The
+     * tag probe — the hottest loop in the memory system — touches
+     * only tags_: 16 ways x 8 B = two cache lines, with validity
+     * folded into the tag as kInvalidTag instead of a separate flag.
+     */
+    std::vector<Addr> tags_;
+    std::vector<std::uint64_t> lru_;
+    std::vector<std::uint8_t> dirty_;
     std::vector<std::uint8_t> data_; ///< 64 B per line slot
     std::uint64_t lru_clock_ = 0;
     CacheStats stats_;

@@ -92,21 +92,25 @@ MemorySystem::readLine(Addr addr, std::uint8_t *dst, Callback cb)
     const auto result = llc_.access(line, false, AllocClass::kCpu);
     if (result.hit) {
         std::memcpy(dst, llc_.dataPtr(line), kCacheLineSize);
-        events_.scheduleIn(latencies_.llc_hit,
-                           [cb, this] { cb(events_.now()); });
+        events_.scheduleIn(latencies_.llc_hit, [this, cb = std::move(cb)]()
+                               mutable { cb(events_.now()); });
         return;
     }
     writebackVictim(result);
     // Fetch from DRAM; install into the already-allocated line, then
-    // hand the bytes to the caller.
-    auto fill = std::make_shared<std::array<std::uint8_t, kCacheLineSize>>();
-    route(line).enqueueRead(line, fill->data(),
-                            track([line, dst, fill, cb, this](Tick at) {
-        if (std::uint8_t *slot = llc_.dataPtr(line))
-            std::memcpy(slot, fill->data(), kCacheLineSize);
-        std::memcpy(dst, fill->data(), kCacheLineSize);
-        cb(at);
-    }));
+    // hand the bytes to the caller. The fill buffer rides inside the
+    // (move-only) completion callback.
+    auto fill = std::make_unique<std::array<std::uint8_t, kCacheLineSize>>();
+    std::uint8_t *fill_data = fill->data();
+    route(line).enqueueRead(
+        line, fill_data,
+        track([line, dst, fill = std::move(fill), cb = std::move(cb),
+               this](Tick at) mutable {
+            if (std::uint8_t *slot = llc_.dataPtr(line))
+                std::memcpy(slot, fill->data(), kCacheLineSize);
+            std::memcpy(dst, fill->data(), kCacheLineSize);
+            cb(at);
+        }));
 }
 
 void
@@ -118,8 +122,8 @@ MemorySystem::writeLine(Addr addr, const std::uint8_t *src, Callback cb)
     writebackVictim(result);
     if (std::uint8_t *slot = llc_.dataPtr(line))
         std::memcpy(slot, src, kCacheLineSize);
-    events_.scheduleIn(latencies_.store_commit,
-                       [cb, this] { cb(events_.now()); });
+    events_.scheduleIn(latencies_.store_commit, [this, cb = std::move(cb)]()
+                           mutable { cb(events_.now()); });
 }
 
 void
@@ -128,23 +132,24 @@ MemorySystem::flushLine(Addr addr, Callback cb)
     const Addr line = lineAlign(addr);
     const auto result = llc_.flush(line);
     if (result.dirty) {
-        route(line).enqueueWrite(line, result.data.data(), track(cb));
+        route(line).enqueueWrite(line, result.data.data(),
+                                 track(std::move(cb)));
         return;
     }
-    events_.scheduleIn(latencies_.flush_clean,
-                       [cb, this] { cb(events_.now()); });
+    events_.scheduleIn(latencies_.flush_clean, [this, cb = std::move(cb)]()
+                           mutable { cb(events_.now()); });
 }
 
 void
 MemorySystem::mmioWrite(Addr addr, const std::uint8_t *src, Callback cb)
 {
-    route(addr).enqueueWrite(lineAlign(addr), src, track(cb));
+    route(addr).enqueueWrite(lineAlign(addr), src, track(std::move(cb)));
 }
 
 void
 MemorySystem::mmioRead(Addr addr, std::uint8_t *dst, Callback cb)
 {
-    route(addr).enqueueRead(lineAlign(addr), dst, track(cb));
+    route(addr).enqueueRead(lineAlign(addr), dst, track(std::move(cb)));
 }
 
 void
@@ -158,8 +163,8 @@ MemorySystem::dmaWriteLine(Addr addr, const std::uint8_t *src, Callback cb)
     writebackVictim(result);
     if (std::uint8_t *slot = llc_.dataPtr(line))
         std::memcpy(slot, src, kCacheLineSize);
-    events_.scheduleIn(latencies_.store_commit,
-                       [cb, this] { cb(events_.now()); });
+    events_.scheduleIn(latencies_.store_commit, [this, cb = std::move(cb)]()
+                           mutable { cb(events_.now()); });
 }
 
 void
@@ -170,11 +175,11 @@ MemorySystem::dmaReadLine(Addr addr, std::uint8_t *dst, Callback cb)
     const Addr line = lineAlign(addr);
     if (const std::uint8_t *slot = llc_.dataPtr(line)) {
         std::memcpy(dst, slot, kCacheLineSize);
-        events_.scheduleIn(latencies_.llc_hit,
-                           [cb, this] { cb(events_.now()); });
+        events_.scheduleIn(latencies_.llc_hit, [this, cb = std::move(cb)]()
+                               mutable { cb(events_.now()); });
         return;
     }
-    route(line).enqueueRead(line, dst, track(cb));
+    route(line).enqueueRead(line, dst, track(std::move(cb)));
 }
 
 void

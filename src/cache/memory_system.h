@@ -69,7 +69,8 @@ class PlainDimm : public mem::DimmDevice
 class MemorySystem
 {
   public:
-    using Callback = std::function<void(Tick)>;
+    /** Completion callback (move-only; see sim/unique_function.h). */
+    using Callback = UniqueFunctionT<void(Tick)>;
 
     /**
      * @param devices one DimmDevice per channel (geometry.channels)
@@ -164,7 +165,8 @@ class MemorySystem
     mem::MemCallback
     track(Callback cb)
     {
-        return [this, cb](Tick at, mem::MemStatus status) {
+        return [this, cb = std::move(cb)](Tick at,
+                                          mem::MemStatus status) mutable {
             if (status == mem::MemStatus::kDegraded)
                 ++degraded_reads_;
             cb(at);

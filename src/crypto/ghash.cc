@@ -49,7 +49,7 @@ Ghash::updateBlocks(const std::uint8_t *blocks, std::size_t nblocks)
 }
 
 const Gf128 &
-Ghash::power(std::size_t k)
+Ghash::extendPowers(std::size_t k)
 {
     SD_ASSERT(k >= 1, "H^0 is never used by GHASH");
     while (powers_.size() < k)

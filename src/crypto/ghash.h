@@ -118,8 +118,18 @@ class Ghash
     /** Reset to the empty digest. */
     void reset() { y_ = Gf128{}; }
 
-    /** @return H^k (k >= 1), extending the cached table on demand. */
-    const Gf128 &power(std::size_t k);
+    /**
+     * @return H^k (k >= 1), extending the cached table on demand.
+     * Warm lookups (every call after the table reaches the record's
+     * block count) stay inline — this sits on the per-line DSA path.
+     */
+    const Gf128 &
+    power(std::size_t k)
+    {
+        // k == 0 routes to the slow path, which rejects it.
+        return k - 1 < powers_.size() ? powers_[k - 1]
+                                      : extendPowers(k);
+    }
 
     /**
      * Positional fold: contribution of @p block at position @p index
@@ -131,6 +141,9 @@ class Ghash
                      std::size_t total_blocks);
 
   private:
+    /** Grow the powers table up to H^k and return it. */
+    const Gf128 &extendPowers(std::size_t k);
+
     kernels::GhashKey key_; ///< H + tier-specific precomputation
     Gf128 y_{};
     std::vector<Gf128> powers_; ///< powers_[k-1] = H^k

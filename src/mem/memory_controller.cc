@@ -26,6 +26,7 @@ MemoryController::enqueueRead(Addr line_addr, std::uint8_t *data,
     Request req;
     req.addr = line_addr;
     req.coord = map_.decompose(line_addr);
+    req.flat_bank = req.coord.flatBank(map_.geometry());
     req.read_data = data;
     req.cb = std::move(cb);
     req.enqueued = events_.now();
@@ -42,6 +43,7 @@ MemoryController::enqueueWrite(Addr line_addr, const std::uint8_t *data,
     Request req;
     req.addr = line_addr;
     req.coord = map_.decompose(line_addr);
+    req.flat_bank = req.coord.flatBank(map_.geometry());
     req.write_data.assign(data, data + kCacheLineSize);
     req.cb = std::move(cb);
     req.enqueued = events_.now();
@@ -52,11 +54,30 @@ MemoryController::enqueueWrite(Addr line_addr, const std::uint8_t *data,
 void
 MemoryController::kick()
 {
-    if (pass_scheduled_)
-        return;
-    pass_scheduled_ = true;
     // Scheduler decisions land on command-clock edges.
-    events_.schedule(clock_.nextEdge(events_.now()), [this] {
+    requestPass(clock_.nextEdge(events_.now()));
+}
+
+void
+MemoryController::requestPass(Tick when)
+{
+    ++stats_.wakeups_requested;
+    if (!coalesce_wakeups_) {
+        // Reference mode for the coalescing regression test: one full
+        // scheduler pass per requested wakeup, as the seed behaved.
+        events_.schedule(when, [this] { schedulePass(); });
+        return;
+    }
+    if (pass_scheduled_ && pass_at_ <= when) {
+        ++stats_.wakeups_coalesced;
+        return;
+    }
+    pass_scheduled_ = true;
+    pass_at_ = when;
+    const std::uint64_t epoch = ++pass_epoch_;
+    events_.schedule(when, [this, epoch] {
+        if (epoch != pass_epoch_)
+            return; // superseded by an earlier wakeup
         pass_scheduled_ = false;
         schedulePass();
     });
@@ -65,10 +86,11 @@ MemoryController::kick()
 std::size_t
 MemoryController::pickFrFcfs(const std::deque<Request> &queue) const
 {
-    // First ready (row hit), then oldest.
+    // First ready (row hit), then oldest. The probe is one 8-byte
+    // load against the SoA open-row column, keyed by the flat bank
+    // id precomputed at enqueue.
     for (std::size_t i = 0; i < queue.size(); ++i) {
-        const auto &bank = banks_[queue[i].coord.flatBank(map_.geometry())];
-        if (bank.open && bank.row == queue[i].coord.row)
+        if (banks_.rowHit(queue[i].flat_bank, queue[i].coord.row))
             return i;
     }
     return 0;
@@ -105,7 +127,9 @@ MemoryController::emit(DdrCommandType type, const Request &req, Tick at)
             stage = trace::Stage::kDdrPrecharge;
             break;
         }
-        tr.ddrEvent(stage, at, cmd.addr);
+        // Buffered; schedulePass() flushes before returning to the
+        // event loop, preserving capture order (see trace::DdrBatch).
+        ddr_batch_.add(stage, at, cmd.addr);
     }
 }
 
@@ -127,6 +151,12 @@ MemoryController::reportStats(trace::StatsBlock &block) const
     block.scalar("degraded_reads",
                  static_cast<double>(stats_.degraded_reads));
     block.scalar("turnarounds", static_cast<double>(stats_.turnarounds));
+    block.scalar("sched_passes",
+                 static_cast<double>(stats_.sched_passes));
+    block.scalar("wakeups_requested",
+                 static_cast<double>(stats_.wakeups_requested));
+    block.scalar("wakeups_coalesced",
+                 static_cast<double>(stats_.wakeups_coalesced));
     block.scalar("bytes_moved", static_cast<double>(stats_.bytesMoved()));
     block.scalar("bus_busy_cycles",
                  static_cast<double>(bus_busy_cycles_));
@@ -138,17 +168,20 @@ MemoryController::issueRequest(std::deque<Request> &queue,
                                std::size_t index, bool is_write)
 {
     Request &req = queue[index];
-    Bank &bank = banks_[req.coord.flatBank(map_.geometry())];
+    const std::uint32_t bank = req.flat_bank;
     const Tick now = events_.now();
     const Tick period = clock_.period();
 
     // Open the right row first if needed.
-    if (!bank.open || bank.row != req.coord.row) {
-        Tick when = std::max(now, bank.ready_at);
-        if (bank.open) {
+    if (!banks_.rowHit(bank, req.coord.row)) {
+        Tick when = std::max(now, banks_.readyAt(bank));
+        if (banks_.open(bank)) {
             // PRE then ACT. Respect tRAS since the last ACT.
-            when = std::max(when, bank.act_at + timing_.tRAS * period);
-            Request pre_req = req; // coordinates only
+            when = std::max(when,
+                            banks_.actAt(bank) + timing_.tRAS * period);
+            Request pre_req; // coordinates only
+            pre_req.addr = req.addr;
+            pre_req.coord = req.coord;
             emit(DdrCommandType::kPrecharge, pre_req, when);
             when += timing_.tRP * period;
             ++stats_.row_conflicts;
@@ -157,12 +190,10 @@ MemoryController::issueRequest(std::deque<Request> &queue,
         }
         emit(DdrCommandType::kActivate, req, when);
         req.needed_act = true;
-        bank.open = true;
-        bank.row = req.coord.row;
-        bank.act_at = when;
-        bank.ready_at = when + timing_.tRCD * period;
+        banks_.activate(bank, req.coord.row, /*act_at=*/when,
+                        /*ready_at=*/when + timing_.tRCD * period);
         // Re-run the scheduler when the bank becomes ready.
-        events_.schedule(bank.ready_at, [this] { schedulePass(); });
+        requestPass(banks_.readyAt(bank));
         return false; // CAS not issued this pass
     }
 
@@ -170,7 +201,7 @@ MemoryController::issueRequest(std::deque<Request> &queue,
     // read/write turnaround relative to the *previous* burst. All
     // inputs are stable until another CAS issues, so the computed
     // tick does not recede across scheduler passes.
-    Tick earliest = std::max(bank.ready_at, bus_free_at_);
+    Tick earliest = std::max(banks_.readyAt(bank), bus_free_at_);
     const bool turnaround =
         cas_issued_ && last_was_write_ != is_write;
     if (turnaround)
@@ -182,7 +213,7 @@ MemoryController::issueRequest(std::deque<Request> &queue,
 
     if (cas_at > now) {
         // Not issuable yet; try again when the bus frees up.
-        events_.schedule(cas_at, [this] { schedulePass(); });
+        requestPass(cas_at);
         return false;
     }
     if (turnaround)
@@ -198,7 +229,7 @@ MemoryController::issueRequest(std::deque<Request> &queue,
     const Tick data_start = cas_at + cas_latency * period;
     const Tick data_end = data_start + timing_.tBL * period;
 
-    bank.ready_at = cas_at + timing_.tCCD_L * period;
+    banks_.setReadyAt(bank, cas_at + timing_.tCCD_L * period);
     bus_free_at_ = data_end;
     last_was_write_ = is_write;
     cas_issued_ = true;
@@ -207,18 +238,20 @@ MemoryController::issueRequest(std::deque<Request> &queue,
     if (is_write) {
         emit(DdrCommandType::kWriteCas, done, cas_at);
         ++stats_.writes;
-        // The burst reaches the device at the end of the data transfer.
-        auto data = std::make_shared<std::vector<std::uint8_t>>(
-            std::move(done.write_data));
-        auto cb = std::move(done.cb);
+        // The burst reaches the device at the end of the data
+        // transfer. The capture *owns* the burst bytes and the
+        // completion callback (move-only Callback — no shared_ptr
+        // indirection, no nested std::function copy).
         DdrCommand cmd;
         cmd.type = DdrCommandType::kWriteCas;
         cmd.coord = done.coord;
         cmd.addr = done.addr;
         cmd.issue = cas_at;
         cmd.slot = static_cast<unsigned>(clock_.cyclesAt(cas_at) % 4);
-        events_.schedule(data_end, [this, cmd, data, cb] {
-            dimm_.onWrite(cmd, data->data());
+        events_.schedule(data_end,
+                         [this, cmd, data = std::move(done.write_data),
+                          cb = std::move(done.cb)]() mutable {
+            dimm_.onWrite(cmd, data.data());
             if (cb)
                 cb(events_.now(), MemStatus::kOk);
         });
@@ -231,15 +264,16 @@ MemoryController::issueRequest(std::deque<Request> &queue,
         cmd.issue = cas_at;
         cmd.slot = static_cast<unsigned>(clock_.cyclesAt(cas_at) % 4);
         auto *read_data = done.read_data;
-        auto cb = std::move(done.cb);
         auto retries = done.retries;
         const Tick enq = done.enqueued;
         events_.schedule(data_end,
-                         [this, cmd, read_data, cb, retries, enq] {
+                         [this, cmd, read_data,
+                          cb = std::move(done.cb), retries,
+                          enq]() mutable {
             const ReadResponse resp = dimm_.onRead(cmd, read_data);
             if (resp == ReadResponse::kAlertN) {
                 // S13: device asserted ALERT_N — requeue the rdCAS.
-                retryAlert(cmd, read_data, cb, retries, enq,
+                retryAlert(cmd, read_data, std::move(cb), retries, enq,
                            /*spurious=*/false);
                 return;
             }
@@ -247,7 +281,7 @@ MemoryController::issueRequest(std::deque<Request> &queue,
                 && fault_plan_->shouldInject(fault::Site::kAlertStorm)) {
                 // Injected storm: treat the good read as if the device
                 // had asserted ALERT_N (data is discarded and re-read).
-                retryAlert(cmd, read_data, cb, retries, enq,
+                retryAlert(cmd, read_data, std::move(cb), retries, enq,
                            /*spurious=*/true);
                 return;
             }
@@ -264,7 +298,7 @@ MemoryController::issueRequest(std::deque<Request> &queue,
 
 void
 MemoryController::retryAlert(const DdrCommand &cmd, std::uint8_t *read_data,
-                             const MemCallback &cb, unsigned retries,
+                             MemCallback cb, unsigned retries,
                              Tick enq, bool spurious)
 {
     ++stats_.alert_retries;
@@ -290,8 +324,9 @@ MemoryController::retryAlert(const DdrCommand &cmd, std::uint8_t *read_data,
     Request retry;
     retry.addr = cmd.addr;
     retry.coord = cmd.coord;
+    retry.flat_bank = cmd.coord.flatBank(map_.geometry());
     retry.read_data = read_data;
-    retry.cb = cb;
+    retry.cb = std::move(cb);
     retry.enqueued = enq; // latency spans all retries
     retry.retries = attempt;
 
@@ -308,10 +343,9 @@ MemoryController::retryAlert(const DdrCommand &cmd, std::uint8_t *read_data,
     const unsigned shift = std::min(excess, 20u);
     const Cycles backoff = std::min(config_.alert_backoff_base << shift,
                                     config_.alert_backoff_cap);
-    auto shared = std::make_shared<Request>(std::move(retry));
     events_.schedule(events_.now() + backoff * clock_.period(),
-                     [this, shared] {
-        read_q_.push_back(std::move(*shared));
+                     [this, retry = std::move(retry)]() mutable {
+        read_q_.push_back(std::move(retry));
         kick();
     });
 }
@@ -337,6 +371,7 @@ MemoryController::updateWriteDrain()
 void
 MemoryController::schedulePass()
 {
+    ++stats_.sched_passes;
     // Drain-mode hysteresis (write batching).
     updateWriteDrain();
 
@@ -345,13 +380,15 @@ MemoryController::schedulePass()
             write_drain_ || (read_q_.empty() && !write_q_.empty());
         std::deque<Request> &queue = service_writes ? write_q_ : read_q_;
         if (queue.empty())
-            return;
+            break;
         const std::size_t index = pickFrFcfs(queue);
         if (!issueRequest(queue, index, service_writes))
-            return; // waiting on a bank/bus event already scheduled
+            break; // waiting on a bank/bus event already requested
         // Keep issuing while commands fit at the current tick.
         updateWriteDrain();
     }
+    // One tracer-lock acquisition for the whole pass's DDR mirror.
+    ddr_batch_.flush();
 }
 
 } // namespace sd::mem

@@ -19,9 +19,11 @@
 #include "common/types.h"
 #include "fault/fault.h"
 #include "mem/address_map.h"
+#include "mem/bank_state.h"
 #include "mem/dram_command.h"
 #include "sim/clock.h"
 #include "sim/event_queue.h"
+#include "sim/unique_function.h"
 #include "trace/trace.h"
 
 namespace sd::mem {
@@ -38,8 +40,13 @@ enum class MemStatus : std::uint8_t
     kDegraded,
 };
 
-/** Completion callback: tick the data burst finished, plus status. */
-using MemCallback = std::function<void(Tick, MemStatus)>;
+/**
+ * Completion callback: tick the data burst finished, plus status.
+ * Move-only (see sim/unique_function.h): completion state rides the
+ * request through enqueue -> issue -> data burst without a single
+ * copy or forced heap allocation.
+ */
+using MemCallback = UniqueFunctionT<void(Tick, MemStatus)>;
 
 /** Controller statistics. */
 struct ControllerStats
@@ -54,6 +61,9 @@ struct ControllerStats
     std::uint64_t alert_backoffs = 0;  ///< retries past the fast window
     std::uint64_t degraded_reads = 0;  ///< retry budget exhausted
     std::uint64_t turnarounds = 0;
+    std::uint64_t sched_passes = 0;      ///< full FR-FCFS passes run
+    std::uint64_t wakeups_requested = 0; ///< requestPass() calls
+    std::uint64_t wakeups_coalesced = 0; ///< covered by a pending pass
 
     std::uint64_t
     bytesMoved() const
@@ -115,11 +125,21 @@ class MemoryController
     /** Contribute this channel's counters to a stats dump. */
     void reportStats(trace::StatsBlock &block) const;
 
+    /**
+     * Testing knob: disable scheduler-wakeup coalescing, reverting to
+     * one full FR-FCFS pass per requested wakeup. The command stream
+     * must be identical either way (the coalescing regression test
+     * proves it); coalesced mode just executes fewer events. Not for
+     * production use.
+     */
+    void setCoalesceWakeups(bool on) { coalesce_wakeups_ = on; }
+
   private:
     struct Request
     {
         Addr addr;
         DramCoord coord;
+        std::uint32_t flat_bank = 0; ///< precomputed FR-FCFS scan key
         std::uint8_t *read_data = nullptr;
         std::vector<std::uint8_t> write_data;
         MemCallback cb;
@@ -128,18 +148,18 @@ class MemoryController
         bool needed_act = false; ///< ACT was issued for this request
     };
 
-    /** Per-bank open-row and timing state. */
-    struct Bank
-    {
-        bool open = false;
-        std::uint64_t row = 0;
-        Tick ready_at = 0; ///< earliest next column command
-        Tick act_at = 0;   ///< last ACT (for tRAS)
-    };
-
-    void kick();           ///< schedule a scheduler pass if needed
+    void kick();           ///< request a pass at the next clock edge
+    /**
+     * The coalesced wakeup helper: every scheduler wakeup flows
+     * through here (sdlint's wakeup-bypass rule enforces it). A
+     * request already covered by a pending pass at an earlier-or-
+     * equal tick is dropped — the pass re-derives any later wakeup
+     * it still needs, because the FR-FCFS pick is stable between
+     * passes and computed issue ticks never recede.
+     */
+    void requestPass(Tick when);
     void retryAlert(const DdrCommand &cmd, std::uint8_t *read_data,
-                    const MemCallback &cb, unsigned retries, Tick enq,
+                    MemCallback cb, unsigned retries, Tick enq,
                     bool spurious);
     void updateWriteDrain(); ///< watermark hysteresis + injected delay
     void schedulePass();   ///< pick and issue the next command
@@ -160,9 +180,15 @@ class MemoryController
 
     std::deque<Request> read_q_;
     std::deque<Request> write_q_;
-    std::vector<Bank> banks_;
+    BankStateSoA banks_;
     bool write_drain_ = false;
-    bool pass_scheduled_ = false;
+    bool coalesce_wakeups_ = true;
+    bool pass_scheduled_ = false; ///< a pass event is pending at pass_at_
+    Tick pass_at_ = 0;
+    /** Generation stamp invalidating superseded pass events. */
+    std::uint64_t pass_epoch_ = 0;
+    /** Pass-scoped buffer for the mirrored DDR command stream. */
+    trace::DdrBatch ddr_batch_;
     Tick bus_free_at_ = 0;
     bool last_was_write_ = false;
     bool cas_issued_ = false; ///< any CAS issued yet (turnaround gate)

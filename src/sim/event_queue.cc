@@ -1,8 +1,60 @@
 #include "sim/event_queue.h"
 
+#include <utility>
+
 #include "common/log.h"
 
 namespace sd {
+
+void
+EventQueue::siftUp(std::size_t i)
+{
+    Entry e = heap_[i];
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (!before(e, heap_[parent]))
+            break;
+        heap_[i] = heap_[parent];
+        i = parent;
+    }
+    heap_[i] = e;
+}
+
+void
+EventQueue::siftDown(std::size_t i)
+{
+    const std::size_t n = heap_.size();
+    Entry e = heap_[i];
+    for (;;) {
+        std::size_t child = 2 * i + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n && before(heap_[child + 1], heap_[child]))
+            ++child;
+        if (!before(heap_[child], e))
+            break;
+        heap_[i] = heap_[child];
+        i = child;
+    }
+    heap_[i] = e;
+}
+
+EventQueue::Callback
+EventQueue::popTop(Entry &top)
+{
+    top = heap_.front();
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty())
+        siftDown(0);
+    // Move the callback out and recycle the slot *before* running it:
+    // a callback that schedules (the common case — self-rescheduling
+    // clocks, pipelined completions) reuses the hot slot immediately.
+    Callback cb = std::move(pool_[top.slot]);
+    pool_[top.slot] = nullptr;
+    free_slots_.push_back(top.slot);
+    return cb;
+}
 
 void
 EventQueue::schedule(Tick when, Callback cb, int priority)
@@ -11,7 +63,17 @@ EventQueue::schedule(Tick when, Callback cb, int priority)
     SD_ASSERT(when >= now_, "scheduling into the past (%llu < %llu)",
               static_cast<unsigned long long>(when),
               static_cast<unsigned long long>(now_));
-    heap_.push(Entry{when, priority, seq_++, std::move(cb)});
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+        slot = free_slots_.back();
+        free_slots_.pop_back();
+        pool_[slot] = std::move(cb);
+    } else {
+        slot = static_cast<std::uint32_t>(pool_.size());
+        pool_.push_back(std::move(cb));
+    }
+    heap_.push_back(Entry{when, seq_++, slot, priority});
+    siftUp(heap_.size() - 1);
 }
 
 Tick
@@ -19,11 +81,11 @@ EventQueue::run()
 {
     owner_.check();
     while (!heap_.empty()) {
-        Entry e = heap_.top();
-        heap_.pop();
-        now_ = e.when;
+        Entry top;
+        Callback cb = popTop(top);
+        now_ = top.when;
         ++executed_;
-        e.cb();
+        cb();
     }
     return now_;
 }
@@ -32,13 +94,16 @@ Tick
 EventQueue::runUntil(Tick limit)
 {
     owner_.check();
-    while (!heap_.empty() && heap_.top().when <= limit) {
-        Entry e = heap_.top();
-        heap_.pop();
-        now_ = e.when;
+    while (!heap_.empty() && heap_.front().when <= limit) {
+        Entry top;
+        Callback cb = popTop(top);
+        now_ = top.when;
         ++executed_;
-        e.cb();
+        cb();
     }
+    // Land exactly on the boundary even when idle or when the next
+    // event sits past it, so follow-up schedule(limit, ...) calls are
+    // legal and time never moves backwards (see header contract).
     if (now_ < limit)
         now_ = limit;
     return now_;
@@ -48,8 +113,9 @@ void
 EventQueue::reset()
 {
     owner_.check();
-    while (!heap_.empty())
-        heap_.pop();
+    heap_.clear();
+    pool_.clear();
+    free_slots_.clear();
     now_ = 0;
     seq_ = 0;
     executed_ = 0;

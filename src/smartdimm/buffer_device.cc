@@ -1,5 +1,6 @@
 #include "smartdimm/buffer_device.h"
 
+#include <bit>
 #include <cstring>
 
 #include "common/log.h"
@@ -313,16 +314,22 @@ BufferDevice::materializeResults(std::uint64_t dbuf_page)
         return;
     DestEntry &entry = it->second;
     std::uint8_t line_data[kCacheLineSize];
-    for (unsigned line = 0; line < kLinesPerPage; ++line) {
-        if (scratchpad_.lineComputed(entry.scratch_page, line))
+    // Visit only lines that became available since the last wakeup
+    // (ascending order, matching the historical full scan). Most
+    // wakeups stage exactly one line.
+    std::uint64_t todo = entry.job->readyMask() & ~entry.staged;
+    while (todo) {
+        const unsigned line =
+            static_cast<unsigned>(std::countr_zero(todo));
+        todo &= todo - 1;
+        if (!entry.job->resultLine(line, line_data))
             continue;
-        if (entry.job->resultLine(line, line_data)) {
-            scratchpad_.writeLine(entry.scratch_page, line, line_data);
-            SD_TRACE_PAGE_EVENT(dbuf_page, trace::Stage::kStage,
-                                events_.now(),
-                                dbuf_page * kPageSize +
-                                    line * kCacheLineSize);
-        }
+        entry.staged |= std::uint64_t{1} << line;
+        scratchpad_.writeLine(entry.scratch_page, line, line_data);
+        SD_TRACE_PAGE_EVENT(dbuf_page, trace::Stage::kStage,
+                            events_.now(),
+                            dbuf_page * kPageSize +
+                                line * kCacheLineSize);
     }
 }
 

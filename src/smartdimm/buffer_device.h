@@ -154,6 +154,9 @@ class BufferDevice : public mem::DimmDevice
         std::shared_ptr<DsaJob> job;
         std::uint64_t sbuf_page = 0;
         std::uint32_t scratch_page = 0;
+        /** Lines already copied into the Scratchpad (mirrors the
+         *  scratch page's computed bits while the mapping lives). */
+        std::uint64_t staged = 0;
     };
 
     void handleMmioWrite(Addr addr, const std::uint8_t *data);

@@ -46,6 +46,12 @@ class DeflateDsaJob : public DsaJob
     Cycles processLine(unsigned line, const std::uint8_t *data) override;
     bool complete() const override { return done_; }
     bool resultLine(unsigned line, std::uint8_t *out) const override;
+    /** Streaming ULP: the whole page appears at completion. */
+    std::uint64_t
+    readyMask() const override
+    {
+        return done_ ? ~std::uint64_t{0} : 0;
+    }
     std::size_t resultBytes() const override;
 
     /** Pipeline statistics of the finished page. */

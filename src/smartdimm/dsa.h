@@ -18,6 +18,9 @@
 
 namespace sd::smartdimm {
 
+static_assert(kLinesPerPage <= 64,
+              "DsaJob::readyMask() packs line state into a uint64_t");
+
 /** Kinds of offloads the prototype supports. */
 enum class UlpKind : std::uint8_t
 {
@@ -78,6 +81,14 @@ class DsaJob
      * @return true when the result line is available in @p out.
      */
     virtual bool resultLine(unsigned line, std::uint8_t *out) const = 0;
+
+    /**
+     * Bitmask of destination lines whose result is currently
+     * available: bit @c i is set exactly when resultLine(i) would
+     * return true. Lets the arbiter stage only newly-available lines
+     * instead of probing all 64 per wakeup.
+     */
+    virtual std::uint64_t readyMask() const = 0;
 
     /** Valid destination bytes (== 4 KB for size-preserving ULPs). */
     virtual std::size_t resultBytes() const = 0;

@@ -49,7 +49,6 @@ TlsDsaJob::TlsDsaJob(std::shared_ptr<TlsMessageState> state,
     holds_tag_ = page_index_ == tag_page;
 
     result_.assign(kPageSize, 0);
-    line_ready_.assign(kLinesPerPage, false);
 
     // A tag-only page (message_len on a page boundary) has no payload
     // lines; its single tag line becomes ready when the message
@@ -67,7 +66,7 @@ TlsDsaJob::processLine(unsigned line, const std::uint8_t *data)
         page_index_ * kLinesPerPage + line;
     const Cycles busy = state_->processLine(
         global_line, data, result_.data() + line * kCacheLineSize);
-    line_ready_[line] = true;
+    ready_ |= std::uint64_t{1} << line;
     ++lines_done_;
     if (state_->complete() && holds_tag_)
         placeTag();
@@ -92,14 +91,37 @@ TlsDsaJob::placeTag() const
     // Mark the tag's line(s) ready.
     for (std::size_t b = tag_off / kCacheLineSize;
          b <= (tag_off + crypto::kTlsTagSize - 1) / kCacheLineSize; ++b)
-        line_ready_[b] = true;
+        ready_ |= std::uint64_t{1} << b;
+}
+
+std::uint64_t
+TlsDsaJob::trailerMask() const
+{
+    return payload_lines_ >= kLinesPerPage
+               ? 0
+               : ~std::uint64_t{0} << payload_lines_;
+}
+
+std::uint64_t
+TlsDsaJob::readyMask() const
+{
+    // Mirrors resultLine()'s lazy trailer logic: padding lines of a
+    // non-tag page are available immediately; the tag page's trailer
+    // (tag line + padding) waits for the whole message.
+    if (!holds_tag_)
+        return ready_ | trailerMask();
+    if (state_->complete()) {
+        placeTag();
+        return ready_ | trailerMask();
+    }
+    return ready_;
 }
 
 bool
 TlsDsaJob::resultLine(unsigned line, std::uint8_t *out) const
 {
     SD_ASSERT(line < kLinesPerPage, "line index out of page");
-    if (!line_ready_[line]) {
+    if (!(ready_ & (std::uint64_t{1} << line))) {
         if (line < payload_lines_)
             return false; // payload not yet processed (S13 territory)
         // Trailer-region line: zero padding is available immediately,
@@ -109,7 +131,7 @@ TlsDsaJob::resultLine(unsigned line, std::uint8_t *out) const
                 return false;
             placeTag();
         }
-        line_ready_[line] = true;
+        ready_ |= std::uint64_t{1} << line;
     }
     std::memcpy(out, result_.data() + line * kCacheLineSize,
                 kCacheLineSize);

@@ -82,6 +82,7 @@ class TlsDsaJob : public DsaJob
     Cycles processLine(unsigned line, const std::uint8_t *data) override;
     bool complete() const override;
     bool resultLine(unsigned line, std::uint8_t *out) const override;
+    std::uint64_t readyMask() const override;
     std::size_t resultBytes() const override;
 
     /** Lines of this page that carry message payload. */
@@ -91,13 +92,16 @@ class TlsDsaJob : public DsaJob
     /** Patch the trailer tag into this page's result bytes. */
     void placeTag() const;
 
+    /** Bitmask of this page's trailer-region lines (>= payload). */
+    std::uint64_t trailerMask() const;
+
     std::shared_ptr<TlsMessageState> state_;
     std::size_t page_index_;
     std::size_t page_payload_;  ///< payload bytes within this page
     std::size_t payload_lines_; ///< lines carrying payload
     bool holds_tag_;            ///< trailer lives in this page
     mutable std::vector<std::uint8_t> result_;
-    mutable std::vector<bool> line_ready_;
+    mutable std::uint64_t ready_ = 0; ///< bit per available result line
     std::size_t lines_done_ = 0;
 };
 

@@ -275,6 +275,17 @@ Tracer::ddrEvent(Stage stage, Tick tick, Addr addr)
 }
 
 void
+Tracer::ddrEvents(const DdrRecord *recs, std::size_t n)
+{
+    if (n == 0 || !ddrCapture())
+        return;
+    MutexLock lock(mu_);
+    for (std::size_t i = 0; i < n; ++i)
+        recordLocked(spanOfPageLocked(recs[i].addr / kPageSize),
+                     recs[i].stage, recs[i].tick, recs[i].addr);
+}
+
+void
 Tracer::faultEvent(std::uint64_t page, Tick tick, Addr addr)
 {
     if (!enabled())

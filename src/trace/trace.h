@@ -246,6 +246,21 @@ class Tracer
     /** Mirror one DDR command (recorded even when unattributed). */
     void ddrEvent(Stage stage, Tick tick, Addr addr);
 
+    /** One buffered DDR-mirror record (see DdrBatch). */
+    struct DdrRecord
+    {
+        Stage stage;
+        Tick tick;
+        Addr addr;
+    };
+
+    /**
+     * Mirror @p n DDR commands in one lock acquisition, in array
+     * order. Equivalent to n ddrEvent() calls with no interleaved
+     * recording from other entry points.
+     */
+    void ddrEvents(const DdrRecord *recs, std::size_t n);
+
     /**
      * Record a kFault event attributed through the page binding of
      * @p page, but — unlike pageEvent() — recorded even when no span
@@ -314,6 +329,48 @@ class Tracer
 
 /** The process-wide tracer every simulator component records into. */
 Tracer &tracer();
+
+/**
+ * Batched DDR-mirror emission for the memory controller's
+ * per-command path. The seed took the tracer mutex and did a
+ * page→span hash lookup per DDR command; one FR-FCFS scheduler pass
+ * can emit a burst of PRE/ACT/CAS commands, so the controller
+ * buffers them here and flushes once per pass (or when the buffer
+ * fills).
+ *
+ * Ordering caveat: batching is only capture-order-preserving because
+ * nothing else records into the tracer between add() and flush() —
+ * a scheduler pass is one event callback, and the attached DIMM
+ * device records nothing synchronously from onCommand(). The
+ * golden-trace suite pins byte-identity with unbatched recording.
+ * Owners must flush() before returning to the event loop.
+ */
+class DdrBatch
+{
+  public:
+    static constexpr std::size_t kCapacity = 64;
+
+    void
+    add(Stage stage, Tick tick, Addr addr)
+    {
+        if (n_ == kCapacity)
+            flush();
+        buf_[n_++] = Tracer::DdrRecord{stage, tick, addr};
+    }
+
+    void
+    flush()
+    {
+        if (n_ == 0)
+            return;
+        tracer().ddrEvents(buf_, n_);
+        n_ = 0;
+    }
+
+  private:
+    Tracer::DdrRecord buf_[kCapacity];
+    std::size_t n_ = 0;
+};
 
 } // namespace sd::trace
 

@@ -20,6 +20,10 @@ cannot express because they encode *project* contracts:
                 execution hook for WorkQueue; everything else must go
                 through a queue (or the sync facade run()/start()) so
                 there is exactly one execution path.
+  wakeup-bypass scheduler wakeups must flow through requestPass(),
+                which coalesces redundant passes behind the pending-
+                pass flag; scheduling a schedulePass() lambda directly
+                silently defeats the coalescing (and its accounting).
 
 Usage:
   tools/sdlint.py [--root DIR]     lint the tree (exit 1 on findings)
@@ -262,6 +266,7 @@ ASSERT_RE = re.compile(r"\bSD_ASSERT\s*\(")
 # raise a file's count only when the new assert is one of those.
 RECOVERABLE_ASSERT_BASELINE = {
     "mem/address_map.cc": 1,
+    "mem/bank_state.h": 1,
     "mem/memory_controller.cc": 2,
     "smartdimm/buffer_device.cc": 3,
     "smartdimm/config_memory.cc": 4,
@@ -331,9 +336,44 @@ def check_queue_bypass(path: pathlib.Path, text: str, clean: str) -> list:
     return findings
 
 
+# --------------------------------------------------------------------------
+# Rule: wakeup-bypass
+# --------------------------------------------------------------------------
+
+WAKEUP_BYPASS_RE = re.compile(r"\bschedule(?:In)?\s*\([^;]*schedulePass",
+                              re.DOTALL)
+
+# requestPass() is the only place allowed to put a schedulePass() event
+# on the queue: it owns the pending-pass flag, the pass epoch and the
+# wakeups_requested/coalesced accounting. The baseline covers its two
+# legitimate schedule sites (uncoalesced reference mode + the epoch-
+# guarded coalesced path).
+WAKEUP_BYPASS_BASELINE = {
+    "mem/memory_controller.cc": 2,
+}
+
+
+def check_wakeup_bypass(path: pathlib.Path, text: str, clean: str) -> list:
+    parts = path.parts
+    rel = "/".join(parts[-2:]) if len(parts) >= 2 else parts[-1]
+    matches = list(WAKEUP_BYPASS_RE.finditer(clean))
+    allowed = WAKEUP_BYPASS_BASELINE.get(rel, 0)
+    if len(matches) <= allowed:
+        return []
+    findings = []
+    for m in matches[allowed:]:
+        findings.append(
+            (path, line_of(clean, m.start()), "wakeup-bypass",
+             "scheduling schedulePass() directly bypasses requestPass() "
+             "wakeup coalescing; call requestPass(when) instead (or, for "
+             "a new legitimate site inside it, raise the baseline in "
+             "sdlint.py)"))
+    return findings
+
+
 CHECKS = [check_determinism, check_span_balance, check_iostream,
           check_mmio, check_guards, check_recoverable_assert,
-          check_queue_bypass]
+          check_queue_bypass, check_wakeup_bypass]
 
 
 def lint_text(path: pathlib.Path, text: str) -> list:
@@ -433,6 +473,26 @@ SELF_TESTS = [
      []),  # the engine's own sync facade
     ("smartdimm/rogue2", "// startOp() is off limits\nint x;", ".cc",
      []),  # comments don't count
+    # wakeup-bypass cases
+    ("mem/rogue_scheduler",
+     "void f() { events_.schedule(t, [this] { schedulePass(); }); }",
+     ".cc", ["wakeup-bypass"]),
+    ("mem/rogue_scheduler2",
+     "void f() { events_.scheduleIn(5, [this] { schedulePass(); }); }",
+     ".cc", ["wakeup-bypass"]),
+    ("mem/memory_controller",
+     "void a() { events_.schedule(t, [this] { schedulePass(); }); }\n"
+     "void b() { events_.schedule(t, [this, e] { schedulePass(); }); }",
+     ".cc", []),  # requestPass()'s two blessed sites
+    ("mem/memory_controller",
+     "void a() { events_.schedule(t, [this] { schedulePass(); }); }\n"
+     "void b() { events_.schedule(t, [this, e] { schedulePass(); }); }\n"
+     "void c() { events_.schedule(t, [this] { schedulePass(); }); }",
+     ".cc", ["wakeup-bypass"]),  # a third site is flagged
+    ("mem/ok_request", "void f() { requestPass(clock_.nextEdge(now)); }",
+     ".cc", []),  # the blessed entry point
+    ("mem/comment_only", "// events_.schedule(t, schedulePass) is banned\n",
+     ".cc", []),  # comments don't count
 ]
 
 
