@@ -27,24 +27,15 @@ struct Outcome
 Outcome
 runWithCapacity(std::size_t scratch_pages)
 {
-    EventQueue events;
-    mem::BackingStore store;
-    mem::DramGeometry geometry;
-    geometry.channels = 1;
-    mem::AddressMap map(geometry, mem::ChannelInterleave::kNone);
+    topo::TopologySpec spec;
+    spec.device.scratchpad_bytes = scratch_pages * kPageSize;
+    spec.llc.size_bytes = 2ull << 20; // contended LLC: evictions recycle
+    topo::Topology topo(spec);
 
-    smartdimm::SmartDimmConfig cfg;
-    cfg.scratchpad_bytes = scratch_pages * kPageSize;
-    smartdimm::BufferDevice dimm(events, map, store, cfg);
-
-    cache::CacheConfig cc;
-    cc.size_bytes = 2ull << 20; // contended LLC: evictions recycle
-    cache::MemorySystem memory(events, geometry,
-                               mem::ChannelInterleave::kNone, cc,
-                               {&dimm});
-    compcpy::Driver driver(1ULL << 20, 2048ULL << 20, cfg);
-    compcpy::CompCpyEngine::SharedState shared;
-    compcpy::CompCpyEngine engine(memory, driver, shared);
+    EventQueue &events = topo.events();
+    cache::MemorySystem &memory = topo.memory();
+    smartdimm::BufferDevice &dimm = topo.slot(0u).device;
+    compcpy::CompCpyEngine &engine = topo.slot(0u).engine;
 
     Rng rng(9);
     constexpr std::size_t kMsg = 4096;

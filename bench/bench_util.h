@@ -21,6 +21,7 @@
 #include "kernels/dispatch.h"
 #include "sim/event_queue.h"
 #include "smartdimm/buffer_device.h"
+#include "topo/topology.h"
 #include "trace/trace.h"
 
 namespace sd::bench {
@@ -34,66 +35,56 @@ header(const char *artifact, const char *description)
     std::printf("==============================================================\n");
 }
 
-/** One-channel SmartDIMM system rig for device-level experiments. */
+/**
+ * One-channel SmartDIMM system rig for device-level experiments.
+ * Built through the topology factory (a 1x1 Topology keeps the legacy
+ * single-device layout bit-for-bit); the flat member references
+ * preserve the historical rig field names the benches were written
+ * against.
+ */
 struct DeviceRig
 {
-    EventQueue events;
-    mem::BackingStore store;
-    mem::DramGeometry geometry;
-    mem::AddressMap map;
-    smartdimm::BufferDevice dimm;
-    std::unique_ptr<cache::MemorySystem> memory;
-    compcpy::Driver driver;
-    compcpy::CompCpyEngine::SharedState shared;
-    compcpy::CompCpyEngine engine;
+    topo::Topology topo;
+    EventQueue &events;
+    mem::BackingStore &store;
+    const mem::DramGeometry &geometry;
+    const mem::AddressMap &map;
+    smartdimm::BufferDevice &dimm;
+    cache::MemorySystem *memory;
+    compcpy::Driver &driver;
+    compcpy::CompCpyEngine::SharedState &shared;
+    compcpy::CompCpyEngine &engine;
 
     explicit DeviceRig(std::size_t llc_bytes = 32ull << 20,
                        unsigned llc_ways = 16)
-        : geometry(makeGeometry()),
-          map(geometry, mem::ChannelInterleave::kNone),
-          dimm(events, map, store),
-          driver(/*base=*/1ULL << 20, /*bytes=*/2048ULL << 20),
-          engine(makeMemory(llc_bytes, llc_ways), driver, shared)
+        : topo(makeSpec(llc_bytes, llc_ways)), events(topo.events()),
+          store(topo.store()), geometry(topo.geometry()),
+          map(topo.addressMap()), dimm(topo.slot(0u).device),
+          memory(&topo.memory()), driver(topo.slot(0u).driver),
+          shared(topo.slot(0u).shared), engine(topo.slot(0u).engine)
     {
     }
 
-    static mem::DramGeometry
-    makeGeometry()
+    static topo::TopologySpec
+    makeSpec(std::size_t llc_bytes, unsigned llc_ways)
     {
-        mem::DramGeometry g;
-        g.channels = 1;
-        return g;
-    }
-
-    cache::MemorySystem &
-    makeMemory(std::size_t llc_bytes, unsigned llc_ways)
-    {
-        cache::CacheConfig cc;
-        cc.size_bytes = llc_bytes;
-        cc.ways = llc_ways;
-        cc.cpu_ways = llc_ways;
-        memory = std::make_unique<cache::MemorySystem>(
-            events, geometry, mem::ChannelInterleave::kNone, cc,
-            std::vector<mem::DimmDevice *>{&dimm});
-        return *memory;
+        topo::TopologySpec spec;
+        spec.llc.size_bytes = llc_bytes;
+        spec.llc.ways = llc_ways;
+        spec.llc.cpu_ways = llc_ways;
+        return spec;
     }
 
     /**
      * Register every rig component into @p registry: the memory
      * system ("llc", "mc.chN"), the CompCpy engine ("compcpy") and
-     * the buffer device ("dimm"). The registry must not outlive the
-     * rig.
+     * the buffer device ("smartdimm"). The registry must not outlive
+     * the rig.
      */
     void
     registerStats(trace::StatsRegistry &registry) const
     {
-        memory->registerStats(registry);
-        registry.add("compcpy", [this](trace::StatsBlock &block) {
-            engine.reportStats(block);
-        });
-        registry.add("dimm", [this](trace::StatsBlock &block) {
-            dimm.reportStats(block);
-        });
+        topo.registerStats(registry);
     }
 };
 

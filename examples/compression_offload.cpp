@@ -13,14 +13,11 @@
 #include <cstring>
 #include <vector>
 
-#include "cache/memory_system.h"
 #include "common/random.h"
 #include "compcpy/compcpy.h"
-#include "compcpy/driver.h"
 #include "compress/deflate.h"
-#include "sim/event_queue.h"
-#include "smartdimm/buffer_device.h"
 #include "smartdimm/deflate_dsa.h"
+#include "topo/topology.h"
 
 using namespace sd;
 
@@ -54,21 +51,13 @@ main()
     std::printf("Deflate offload through SmartDIMM\n"
                 "=================================\n\n");
 
-    EventQueue events;
-    mem::BackingStore dram;
-    mem::DramGeometry geometry;
-    geometry.channels = 1;
-    mem::AddressMap map(geometry, mem::ChannelInterleave::kNone);
-    smartdimm::BufferDevice device(events, map, dram);
-
-    cache::CacheConfig llc;
-    llc.size_bytes = 8ull << 20;
-    cache::MemorySystem memory(events, geometry,
-                               mem::ChannelInterleave::kNone, llc,
-                               {&device});
-    compcpy::Driver driver(1ULL << 20, 256ULL << 20);
-    compcpy::CompCpyEngine::SharedState shared;
-    compcpy::CompCpyEngine compcpy(memory, driver, shared);
+    topo::TopologySpec spec;
+    spec.llc.size_bytes = 8ull << 20;
+    topo::Topology topo(spec);
+    cache::MemorySystem &memory = topo.memory();
+    smartdimm::BufferDevice &device = topo.slot(0u).device;
+    compcpy::Driver &driver = topo.slot(0u).driver;
+    compcpy::CompCpyEngine &compcpy = topo.slot(0u).engine;
 
     // A 24 KB response compressed at (just under) page granularity,
     // each page an independent CompCpy per Sec. V-C.

@@ -14,11 +14,9 @@
 #include <vector>
 
 #include "app/antagonist.h"
-#include "cache/memory_system.h"
 #include "common/random.h"
 #include "compcpy/offload_engine.h"
-#include "sim/event_queue.h"
-#include "smartdimm/buffer_device.h"
+#include "topo/topology.h"
 
 using namespace sd;
 
@@ -28,21 +26,13 @@ main()
     std::printf("Adaptive secure web server\n"
                 "==========================\n\n");
 
-    EventQueue events;
-    mem::BackingStore dram;
-    mem::DramGeometry geometry;
-    geometry.channels = 1;
-    mem::AddressMap map(geometry, mem::ChannelInterleave::kNone);
-    smartdimm::BufferDevice device(events, map, dram);
-
-    cache::CacheConfig llc;
-    llc.size_bytes = 1ull << 20; // small LLC so contention is easy to
-                                 // provoke in a demo
-    cache::MemorySystem memory(events, geometry,
-                               mem::ChannelInterleave::kNone, llc,
-                               {&device});
-
-    compcpy::Driver driver(1ULL << 20, 256ULL << 20);
+    topo::TopologySpec spec;
+    spec.llc.size_bytes = 1ull << 20; // small LLC so contention is
+                                      // easy to provoke in a demo
+    topo::Topology topo(spec);
+    cache::MemorySystem &memory = topo.memory();
+    smartdimm::BufferDevice &device = topo.slot(0u).device;
+    compcpy::Driver &driver = topo.slot(0u).driver;
     compcpy::CompCpyEngine::SharedState shared;
 
     Rng rng(7);

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Open-loop (wrk2-style) request generator over the multi-DIMM
+ * topology. Unlike the closed-loop analytic server model
+ * (server_model.h), arrivals here are a Poisson process whose rate is
+ * fixed in advance — a request arrives whether or not earlier ones
+ * completed — so queueing delay shows up in the latency distribution
+ * instead of silently throttling the offered load (the coordinated-
+ * omission trap wrk2 exists to avoid).
+ *
+ * Each arrival belongs to a persistent flow; the ShardDispatcher
+ * places the flow on its hash-home DIMM, sheds to siblings under
+ * saturation or degradation, and falls back to the CPU path (a small
+ * pool of workers costed by offload::CostModel) when every queue is
+ * full. Latency is measured arrival-to-completion in simulated time.
+ */
+
+#ifndef SD_APP_OPEN_LOOP_H
+#define SD_APP_OPEN_LOOP_H
+
+#include <cstdint>
+
+#include "offload/cost_model.h"
+#include "topo/dispatcher.h"
+#include "topo/topology.h"
+
+namespace sd::app {
+
+/** One open-loop evaluation point. */
+struct OpenLoopConfig
+{
+    topo::TopologySpec topology{};
+    topo::DispatcherConfig dispatcher{};
+
+    double arrival_rate = 500e3;   ///< offered load, ops/sec
+    std::size_t requests = 512;    ///< arrivals to simulate
+    unsigned flows = 32;           ///< persistent connections
+    std::size_t message_bytes = 4096;
+    smartdimm::UlpKind ulp = smartdimm::UlpKind::kTlsEncrypt;
+    std::uint64_t seed = 1;
+
+    /** CPU fallback path: worker pool + calibrated software costs. */
+    unsigned cpu_workers = 2;
+    offload::CostModel cost{};
+};
+
+/** Aggregate outcome of one open-loop run. */
+struct OpenLoopResult
+{
+    double offered_ops_per_sec = 0;
+    double achieved_ops_per_sec = 0; ///< completions over the makespan
+    double p50_us = 0;
+    double p99_us = 0;
+    double max_us = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t dimm_ops = 0;       ///< served by a buffer device
+    std::uint64_t cpu_ops = 0;        ///< CPU-path fallbacks
+    std::uint64_t shed_to_sibling = 0; ///< dispatcher shed decisions
+    std::uint64_t shed_to_cpu = 0;
+};
+
+/** Run the open-loop workload to completion (deterministic in seed). */
+OpenLoopResult runOpenLoopServer(const OpenLoopConfig &config);
+
+} // namespace sd::app
+
+#endif // SD_APP_OPEN_LOOP_H

@@ -60,7 +60,7 @@ bool
 CompCpyEngine::injectFault(fault::Site site)
 {
     return fault_plan_ && fault_plan_->armed(site) &&
-           fault_plan_->shouldInject(site);
+           fault_plan_->shouldInject(site, fault_scope_);
 }
 
 std::size_t

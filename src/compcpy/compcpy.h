@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cache/memory_system.h"
@@ -143,6 +144,45 @@ class CompCpyEngine
     void setFaultPlan(fault::FaultPlan *plan) { fault_plan_ = plan; }
 
     /**
+     * Name the device this engine drives so scoped fault rules
+     * (`smartdimm[ch][dimm]/...`) can target its host-side sites
+     * (kOrderedFence here, kQueueFull/kLostCompletion in the queues).
+     */
+    void setFaultScope(const fault::FaultScope &scope)
+    {
+        fault_scope_ = scope;
+    }
+
+    const fault::FaultScope &faultScope() const { return fault_scope_; }
+
+    /**
+     * Suffix for trace span names opened on this engine's behalf
+     * (e.g. "ch1.d0" makes TLS spans "tls.ch1.d0"). Empty — the
+     * default — keeps the legacy single-device names, so 1x1 golden
+     * traces are unaffected. Composed names are interned because
+     * trace::Span borrows the `const char *` and spans outlive the
+     * engine (per-thread engines die before the tracer dumps).
+     */
+    void
+    setSpanTag(const std::string &tag)
+    {
+        tls_span_name_ =
+            tag.empty() ? "tls" : trace::internString("tls." + tag);
+        deflate_span_name_ =
+            tag.empty() ? "deflate"
+                        : trace::internString("deflate." + tag);
+    }
+
+    /** Stable span name for @p ulp (valid process-wide). */
+    const char *
+    spanName(smartdimm::UlpKind ulp) const
+    {
+        return ulp == smartdimm::UlpKind::kTlsEncrypt
+                   ? tls_span_name_
+                   : deflate_span_name_;
+    }
+
+    /**
      * Whether the most recently completed call was degraded (ALERT_N
      * retry exhaustion or a rejected registration). The adaptive
      * policy uses this to fall back to CPU placement.
@@ -194,6 +234,9 @@ class CompCpyEngine
     Driver &driver_;
     SharedState &shared_;
     fault::FaultPlan *fault_plan_ = nullptr;
+    fault::FaultScope fault_scope_;
+    const char *tls_span_name_ = "tls";        ///< interned/static
+    const char *deflate_span_name_ = "deflate"; ///< interned/static
     std::uint64_t seen_rejections_ = 0; ///< kFaultStatus poll baseline
     bool last_call_degraded_ = false;
     CompCpyStats stats_;

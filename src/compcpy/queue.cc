@@ -51,7 +51,8 @@ bool
 WorkQueue::injectFault(fault::Site site)
 {
     fault::FaultPlan *plan = engine_.faultPlan();
-    return plan && plan->armed(site) && plan->shouldInject(site);
+    return plan && plan->armed(site) &&
+           plan->shouldInject(site, engine_.faultScope());
 }
 
 std::size_t
@@ -126,10 +127,12 @@ WorkQueue::accept(const Descriptor &desc, std::uint16_t submitter,
     for (const auto &op : p->desc.ops) {
         std::uint32_t span = 0;
         if (tr.enabled()) {
-            span = tr.beginSpan(
-                op.ulp == smartdimm::UlpKind::kTlsEncrypt ? "tls"
-                                                          : "deflate",
-                op.sbuf, op.dbuf, op.size, now);
+            // Per-device span naming: an engine placed in a topology
+            // tags its spans ("tls.ch1.d0") so multi-DIMM traces never
+            // aggregate devices under one name. Untagged engines keep
+            // the legacy names (1x1 goldens are byte-identical).
+            span = tr.beginSpan(engine_.spanName(op.ulp), op.sbuf,
+                                op.dbuf, op.size, now);
             const std::size_t src_pages = divCeil(op.size, kPageSize);
             const std::size_t dst_pages = CompCpyEngine::destPages(op);
             for (std::size_t pg = 0; pg < src_pages; ++pg)

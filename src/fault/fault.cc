@@ -53,13 +53,26 @@ FaultPlan::armed(Site site) const
 }
 
 bool
-FaultPlan::shouldInject(Site site)
+FaultPlan::shouldInject(Site site, const FaultScope &scope)
 {
     SiteState &state = sites_[static_cast<std::size_t>(site)];
     if (state.rules.empty())
         return false;
-    const std::uint64_t index = state.triggers++;
+    ++state.triggers;
+    // Advance each matching rule's trigger view first, then let the
+    // first armed, non-exhausted matching rule decide. An unscoped
+    // rule matches every trigger, so its numbering is the site-global
+    // trigger count (bit-identical to the pre-topology behaviour); a
+    // scoped rule numbers only its own device's triggers, so skip=N
+    // means "the Nth visit on *that* device". Mismatched rules are
+    // passed over without touching the RNG.
+    for (RuleState &rs : state.rules)
+        if (rs.rule.matches(scope))
+            ++rs.seen;
     for (RuleState &rs : state.rules) {
+        if (!rs.rule.matches(scope))
+            continue;
+        const std::uint64_t index = rs.seen - 1;
         if (index < rs.rule.skip || rs.fired >= rs.rule.count)
             continue;
         // The RNG advances only here, so inert rules never perturb
@@ -107,12 +120,49 @@ FaultPlan::fromSpec(const std::string &spec, std::uint64_t seed)
         if (item.empty())
             continue;
 
+        FaultRule rule;
+
+        // Optional device-scope prefix: "mem[ch]/" targets a channel
+        // controller, "smartdimm[ch]/" every DIMM on a channel, and
+        // "smartdimm[ch][dimm]/" one specific buffer device.
+        const std::size_t slash = item.find('/');
+        if (slash != std::string::npos) {
+            const std::string prefix = item.substr(0, slash);
+            item = item.substr(slash + 1);
+            std::size_t open = prefix.find('[');
+            const std::string kind = prefix.substr(
+                0, std::min(open, prefix.size()));
+            if (kind != "mem" && kind != "smartdimm")
+                return std::nullopt;
+            int indices[2] = {-1, -1};
+            int parsed = 0;
+            std::size_t ppos = std::min(open, prefix.size());
+            while (ppos < prefix.size()) {
+                if (prefix[ppos] != '[' || parsed >= 2)
+                    return std::nullopt;
+                const std::size_t close = prefix.find(']', ppos);
+                if (close == std::string::npos || close == ppos + 1)
+                    return std::nullopt;
+                const std::string num =
+                    prefix.substr(ppos + 1, close - ppos - 1);
+                char *num_end = nullptr;
+                const long idx = std::strtol(num.c_str(), &num_end, 10);
+                if (num_end != num.c_str() + num.size() || idx < 0)
+                    return std::nullopt;
+                indices[parsed++] = static_cast<int>(idx);
+                ppos = close + 1;
+            }
+            if (parsed == 0 || (kind == "mem" && parsed > 1))
+                return std::nullopt;
+            rule.channel = indices[0];
+            rule.dimm = indices[1];
+        }
+
         // First ':'-field is the site name; the rest are key=value.
         const std::size_t name_end = std::min(item.find(':'), item.size());
         const auto site = siteFromName(item.substr(0, name_end));
         if (!site)
             return std::nullopt;
-        FaultRule rule;
         rule.site = *site;
 
         std::size_t fpos = name_end;

@@ -59,8 +59,23 @@ const char *siteName(Site site);
 std::optional<Site> siteFromName(const std::string &name);
 
 /**
+ * Where in the topology a trigger fired. Components owned by a
+ * specific device pass their coordinates; shared/host-side components
+ * pass the default (unplaced) scope. -1 means "not applicable".
+ */
+struct FaultScope
+{
+    int channel = -1;
+    int dimm = -1;
+};
+
+/**
  * One injection rule. A site may carry several rules; the first armed,
- * non-exhausted rule decides each trigger.
+ * non-exhausted rule *matching the trigger's scope* decides each
+ * trigger. A rule's channel/dimm of -1 is a wildcard, so unscoped
+ * rules behave exactly as before the topology existed; a scoped rule
+ * (e.g. channel=1, dimm=0) only fires for triggers reported from that
+ * device, which is how the chaos soak exercises per-device faults.
  */
 struct FaultRule
 {
@@ -68,6 +83,16 @@ struct FaultRule
     std::uint64_t skip = 0;   ///< ignore the first N triggers at the site
     std::uint64_t count = ~0ULL; ///< fire at most this many times
     double probability = 1.0; ///< per-trigger chance once armed
+    int channel = -1;         ///< restrict to one channel (-1 = any)
+    int dimm = -1;            ///< restrict to one DIMM slot (-1 = any)
+
+    /** @return true when this rule applies to a trigger at @p scope. */
+    bool
+    matches(const FaultScope &scope) const
+    {
+        return (channel < 0 || channel == scope.channel) &&
+               (dimm < 0 || dimm == scope.dimm);
+    }
 };
 
 /**
@@ -98,8 +123,12 @@ class FaultPlan
     /**
      * Called by a component at an injection site. Counts the trigger
      * and decides — deterministically — whether to inject the fault.
+     * Rules whose scope does not match are skipped without touching
+     * the RNG, so scoping one device's rule never perturbs another
+     * rule's random stream (the determinism contract extends to
+     * topology scopes).
      */
-    bool shouldInject(Site site);
+    bool shouldInject(Site site, const FaultScope &scope = {});
 
     /** Triggers seen at @p site (fault-free visits included). */
     std::uint64_t triggers(Site site) const;
@@ -112,8 +141,12 @@ class FaultPlan
 
     /**
      * Parse a plan spec: comma-separated rules of the form
-     *   site[:skip=N][:count=M][:p=F]
+     *   [scope/]site[:skip=N][:count=M][:p=F]
      * e.g. "alert_storm:count=10:p=0.5,free_pages_lie:count=2".
+     * The optional scope prefix pins a rule to one device in the
+     * topology: `mem[1]/alert_storm` targets channel 1's controller,
+     * `smartdimm[0][1]/free_pages_lie` targets channel 0, DIMM 1, and
+     * `smartdimm[2]/cuckoo_conflict` targets every DIMM on channel 2.
      * This is the format of the SD_FAULT_PLAN env knob the test
      * harnesses accept. @return nullopt on malformed input.
      */
@@ -128,6 +161,7 @@ class FaultPlan
     {
         FaultRule rule;
         std::uint64_t fired = 0;
+        std::uint64_t seen = 0; ///< triggers matching this rule's scope
     };
 
     struct SiteState

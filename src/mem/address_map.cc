@@ -9,14 +9,20 @@ AddressMap::AddressMap(const DramGeometry &geometry,
                        ChannelInterleave interleave)
     : geometry_(geometry), interleave_(interleave)
 {
-    SD_ASSERT(isPowerOf2(geometry.channels) &&
-                  isPowerOf2(geometry.ranks) &&
+    // Channel and DIMM counts are extracted by div/mod, so they may be
+    // arbitrary; the intra-DIMM fields stay bit-sliced and must be
+    // powers of two.
+    SD_ASSERT(isPowerOf2(geometry.ranks) &&
                   isPowerOf2(geometry.bank_groups) &&
                   isPowerOf2(geometry.banks_per_group) &&
                   isPowerOf2(geometry.row_bytes),
               "DRAM geometry fields must be powers of two");
-    channel_bits_ =
-        geometry.channels > 1 ? floorLog2(geometry.channels) : 0;
+    SD_ASSERT(geometry.channels >= 1 && geometry.dimms_per_channel >= 1,
+              "geometry needs at least one channel and one DIMM");
+    SD_ASSERT(geometry.channel_bytes % geometry.dimms_per_channel == 0,
+              "channel capacity must split evenly across DIMM slots");
+    channel_lines_ = geometry.channel_bytes / kCacheLineSize;
+    dimm_lines_ = geometry.dimmBytes() / kCacheLineSize;
     col_bits_ = floorLog2(geometry.linesPerRow());
     bank_bits_ = floorLog2(geometry.banks_per_group);
     bg_bits_ = floorLog2(geometry.bank_groups);
@@ -27,19 +33,38 @@ DramCoord
 AddressMap::decompose(Addr addr) const
 {
     std::uint64_t v = addr >> 6; // line index
+    const std::uint64_t channels = geometry_.channels;
     DramCoord coord;
 
-    if (interleave_ == ChannelInterleave::kLine && channel_bits_ > 0) {
-        coord.channel = static_cast<unsigned>(bits(v, 0, channel_bits_));
-        v >>= channel_bits_;
-    } else if (interleave_ == ChannelInterleave::kPage &&
-               channel_bits_ > 0) {
-        // 4 KB page = 64 lines: channel bits sit above bit 5 of the
-        // line index.
-        const std::uint64_t in_page = bits(v, 0, 6);
-        coord.channel =
-            static_cast<unsigned>(bits(v, 6, channel_bits_));
-        v = ((v >> (6 + channel_bits_)) << 6) | in_page;
+    switch (interleave_) {
+      case ChannelInterleave::kNone:
+        break;
+      case ChannelInterleave::kCapacity:
+        if (channels > 1) {
+            coord.channel = static_cast<unsigned>(v / channel_lines_);
+            v %= channel_lines_;
+        }
+        break;
+      case ChannelInterleave::kLine:
+        if (channels > 1) {
+            coord.channel = static_cast<unsigned>(v % channels);
+            v /= channels;
+        }
+        break;
+      case ChannelInterleave::kPage:
+        if (channels > 1) {
+            // 4 KB page = 64 lines: rotate whole pages across channels.
+            const std::uint64_t in_page = bits(v, 0, 6);
+            const std::uint64_t page = v >> 6;
+            coord.channel = static_cast<unsigned>(page % channels);
+            v = ((page / channels) << 6) | in_page;
+        }
+        break;
+    }
+
+    if (geometry_.dimms_per_channel > 1) {
+        coord.dimm = static_cast<unsigned>(v / dimm_lines_);
+        v %= dimm_lines_;
     }
 
     coord.col = bits(v, 0, col_bits_);
@@ -57,18 +82,34 @@ AddressMap::decompose(Addr addr) const
 Addr
 AddressMap::compose(const DramCoord &coord) const
 {
+    const std::uint64_t channels = geometry_.channels;
     std::uint64_t v = coord.row;
     v = (v << rank_bits_) | coord.rank;
     v = (v << bg_bits_) | coord.bank_group;
     v = (v << bank_bits_) | coord.bank;
     v = (v << col_bits_) | coord.col;
 
-    if (interleave_ == ChannelInterleave::kLine && channel_bits_ > 0) {
-        v = (v << channel_bits_) | coord.channel;
-    } else if (interleave_ == ChannelInterleave::kPage &&
-               channel_bits_ > 0) {
-        const std::uint64_t in_page = bits(v, 0, 6);
-        v = ((((v >> 6) << channel_bits_) | coord.channel) << 6) | in_page;
+    if (geometry_.dimms_per_channel > 1)
+        v += static_cast<std::uint64_t>(coord.dimm) * dimm_lines_;
+
+    switch (interleave_) {
+      case ChannelInterleave::kNone:
+        break;
+      case ChannelInterleave::kCapacity:
+        if (channels > 1)
+            v += static_cast<std::uint64_t>(coord.channel) *
+                 channel_lines_;
+        break;
+      case ChannelInterleave::kLine:
+        if (channels > 1)
+            v = v * channels + coord.channel;
+        break;
+      case ChannelInterleave::kPage:
+        if (channels > 1) {
+            const std::uint64_t in_page = bits(v, 0, 6);
+            v = (((v >> 6) * channels + coord.channel) << 6) | in_page;
+        }
+        break;
     }
     return v << 6;
 }

@@ -21,6 +21,7 @@ namespace sd::mem {
 struct DramCoord
 {
     unsigned channel = 0;
+    unsigned dimm = 0; ///< DIMM slot within the channel
     unsigned rank = 0;
     unsigned bank_group = 0;
     unsigned bank = 0;
@@ -29,22 +30,33 @@ struct DramCoord
 
     bool operator==(const DramCoord &) const = default;
 
-    /** Flat bank id within a channel (rank-major). */
+    /**
+     * Flat bank id within a channel (dimm-major, then rank-major).
+     * Each DIMM's chips hold independent row buffers, so the
+     * controller's bank state must not alias banks across DIMM slots.
+     */
     unsigned
     flatBank(const DramGeometry &g) const
     {
-        return (rank * g.bank_groups + bank_group) * g.banks_per_group +
+        return ((dimm * g.ranks + rank) * g.bank_groups + bank_group) *
+                   g.banks_per_group +
                bank;
     }
 };
 
 /**
  * Bidirectional address mapper. The layout (from LSB) is:
- *   [6b line offset][channel bits*][col][bank][bank group][rank][row]
- * with channel bits placed per the interleave mode (*after the line
- * offset for kLine, after the page offset for kPage, absent for
- * kNone). Bank bits sit below the row so that sequential 4 KB pages
- * stripe across banks — the open-page-friendly layout servers use.
+ *   [6b line offset][channel*][col][bank][bank group][rank][row][dimm]
+ * with the channel extracted per the interleave mode (after the line
+ * offset for kLine, after the page offset for kPage, as the top-level
+ * capacity window for kCapacity, absent for kNone). Channel counts
+ * need not be powers of two: channel extraction is div/mod on the
+ * line (or page) index, which degenerates to the pow2 bit-slice
+ * layout bit-for-bit when the count is a power of two. The DIMM slot
+ * is a capacity partition of the channel-local space (each device
+ * owns a contiguous dimmBytes() window), sitting above the row bits.
+ * Bank bits sit below the row so that sequential 4 KB pages stripe
+ * across banks — the open-page-friendly layout servers use.
  */
 class AddressMap
 {
@@ -66,7 +78,8 @@ class AddressMap
   private:
     DramGeometry geometry_;
     ChannelInterleave interleave_;
-    unsigned channel_bits_;
+    std::uint64_t channel_lines_; ///< kCapacity window, in lines
+    std::uint64_t dimm_lines_;    ///< per-DIMM capacity slice, in lines
     unsigned col_bits_;
     unsigned bank_bits_;
     unsigned bg_bits_;

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Multi-DIMM channel fan-out. A DDR4 channel is one command/data bus
+ * shared by every DIMM in its slots; the chip-select decoded from the
+ * address picks which module latches a given command. DimmMux models
+ * that decode: the controller keeps talking to a single DimmDevice,
+ * and the mux forwards each command to the slot named by the
+ * already-decomposed coordinate. Timing is unaffected — the bus is
+ * still serialised by the controller — only device state (bank
+ * tables, scratchpads, DSAs) is per-slot.
+ */
+
+#ifndef SD_MEM_DIMM_MUX_H
+#define SD_MEM_DIMM_MUX_H
+
+#include <vector>
+
+#include "common/log.h"
+#include "mem/dram_command.h"
+
+namespace sd::mem {
+
+/** Chip-select fan-out to the DIMMs sharing one channel. */
+class DimmMux final : public DimmDevice
+{
+  public:
+    explicit DimmMux(std::vector<DimmDevice *> slots)
+        : slots_(std::move(slots))
+    {
+        SD_ASSERT(!slots_.empty(), "a channel needs at least one DIMM");
+    }
+
+    void
+    onCommand(const DdrCommand &cmd) override
+    {
+        select(cmd).onCommand(cmd);
+    }
+
+    ReadResponse
+    onRead(const DdrCommand &cmd, std::uint8_t *data) override
+    {
+        return select(cmd).onRead(cmd, data);
+    }
+
+    void
+    onWrite(const DdrCommand &cmd, const std::uint8_t *data) override
+    {
+        select(cmd).onWrite(cmd, data);
+    }
+
+  private:
+    DimmDevice &
+    select(const DdrCommand &cmd)
+    {
+        SD_ASSERT(cmd.coord.dimm < slots_.size(),
+                  "command addressed past the channel's DIMM slots");
+        return *slots_[cmd.coord.dimm];
+    }
+
+    std::vector<DimmDevice *> slots_;
+};
+
+} // namespace sd::mem
+
+#endif // SD_MEM_DIMM_MUX_H

@@ -21,6 +21,7 @@ namespace sd::mem {
 struct DramGeometry
 {
     unsigned channels = 1;
+    unsigned dimms_per_channel = 1; ///< buffer devices sharing one bus
     unsigned ranks = 1;
     unsigned bank_groups = 4;
     unsigned banks_per_group = 4;
@@ -28,8 +29,26 @@ struct DramGeometry
     std::uint64_t channel_bytes = 16ULL << 30; ///< capacity per channel
 
     unsigned banksPerRank() const { return bank_groups * banks_per_group; }
-    unsigned totalBanks() const { return ranks * banksPerRank(); }
+
+    /**
+     * Flat bank-state size per channel controller. Each DIMM on the
+     * channel owns an independent set of banks (its own chips), so the
+     * controller tracks dimms x ranks x banks row states.
+     */
+    unsigned
+    totalBanks() const
+    {
+        return dimms_per_channel * ranks * banksPerRank();
+    }
+
     std::uint64_t linesPerRow() const { return row_bytes / kCacheLineSize; }
+
+    /** Capacity slice owned by one DIMM within its channel window. */
+    std::uint64_t
+    dimmBytes() const
+    {
+        return channel_bytes / dimms_per_channel;
+    }
 };
 
 /**
@@ -74,9 +93,10 @@ struct ControllerConfig
 /** How physical addresses spread across channels. */
 enum class ChannelInterleave
 {
-    kNone,    ///< one channel owns the whole space (AxDIMM mode)
-    kLine,    ///< consecutive 64 B lines round-robin channels
-    kPage,    ///< consecutive 4 KB pages round-robin channels
+    kNone,     ///< one channel owns the whole space (AxDIMM mode)
+    kLine,     ///< consecutive 64 B lines round-robin channels
+    kPage,     ///< consecutive 4 KB pages round-robin channels
+    kCapacity, ///< each channel owns a contiguous channel_bytes window
 };
 
 } // namespace sd::mem

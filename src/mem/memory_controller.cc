@@ -278,7 +278,9 @@ MemoryController::issueRequest(std::deque<Request> &queue,
                 return;
             }
             if (fault_plan_ && fault_plan_->armed(fault::Site::kAlertStorm)
-                && fault_plan_->shouldInject(fault::Site::kAlertStorm)) {
+                && fault_plan_->shouldInject(
+                       fault::Site::kAlertStorm,
+                       {static_cast<int>(channel_), -1})) {
                 // Injected storm: treat the good read as if the device
                 // had asserted ALERT_N (data is discarded and re-read).
                 retryAlert(cmd, read_data, std::move(cb), retries, enq,
@@ -360,7 +362,8 @@ MemoryController::updateWriteDrain()
         const bool delayed =
             !write_drain_ && fault_plan_ &&
             fault_plan_->armed(fault::Site::kWriteDrainDelay) &&
-            fault_plan_->shouldInject(fault::Site::kWriteDrainDelay);
+            fault_plan_->shouldInject(fault::Site::kWriteDrainDelay,
+                                      {static_cast<int>(channel_), -1});
         if (!delayed)
             write_drain_ = true;
     }

@@ -47,7 +47,7 @@ bool
 BufferDevice::injectFault(fault::Site site)
 {
     return fault_plan_ && fault_plan_->armed(site) &&
-           fault_plan_->shouldInject(site);
+           fault_plan_->shouldInject(site, fault_scope_);
 }
 
 void

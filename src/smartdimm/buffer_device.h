@@ -132,6 +132,18 @@ class BufferDevice : public mem::DimmDevice
         translation_.setFaultPlan(plan);
     }
 
+    /**
+     * Name this device's position in the topology so scoped fault
+     * rules (`smartdimm[ch][dimm]/...`) can target it. The scope is
+     * forwarded to the Translation Table for the cuckoo sites.
+     */
+    void
+    setFaultScope(const fault::FaultScope &scope)
+    {
+        fault_scope_ = scope;
+        translation_.setFaultScope(scope);
+    }
+
     /** @return true when @p addr falls in the MMIO window. */
     bool
     isMmio(Addr addr) const
@@ -199,6 +211,7 @@ class BufferDevice : public mem::DimmDevice
     std::unordered_map<std::uint64_t, std::uint64_t> sbuf_message_;
 
     fault::FaultPlan *fault_plan_ = nullptr;
+    fault::FaultScope fault_scope_;
     ArbiterStats stats_;
     DsaStats dsa_stats_;
     /** Per-queue doorbell/ack counters surfaced via kQueueStatus. */

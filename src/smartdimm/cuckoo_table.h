@@ -80,6 +80,9 @@ class CuckooTable
      */
     void setFaultPlan(fault::FaultPlan *plan) { fault_plan_ = plan; }
 
+    /** Scope for matching device-targeted (`smartdimm[ch][dimm]`) rules. */
+    void setFaultScope(const fault::FaultScope &scope) { fault_scope_ = scope; }
+
     /** @return the mapping for @p page when present. */
     std::optional<Translation> lookup(std::uint64_t page);
 
@@ -109,6 +112,7 @@ class CuckooTable
     std::vector<Bucket> buckets_;
     std::vector<Bucket> cam_;
     fault::FaultPlan *fault_plan_ = nullptr;
+    fault::FaultScope fault_scope_;
     unsigned max_displacements_;
     std::size_t live_ = 0;
     CuckooStats stats_;

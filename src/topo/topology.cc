@@ -1,0 +1,162 @@
+#include "topo/topology.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/log.h"
+
+namespace sd::topo {
+
+std::optional<TopologySpec>
+TopologySpec::parse(const std::string &text)
+{
+    // strtoul silently accepts signs and whitespace; the knob grammar
+    // is strictly digits, so require a leading digit on each count.
+    if (text.empty() || std::isdigit(static_cast<unsigned char>(text[0])) == 0)
+        return std::nullopt;
+    unsigned long channels = 0;
+    unsigned long dimms = 1;
+    char *end = nullptr;
+    channels = std::strtoul(text.c_str(), &end, 10);
+    if (end == text.c_str())
+        return std::nullopt;
+    if (*end == 'x' || *end == 'X') {
+        const char *dimm_text = end + 1;
+        if (std::isdigit(static_cast<unsigned char>(*dimm_text)) == 0)
+            return std::nullopt;
+        dimms = std::strtoul(dimm_text, &end, 10);
+    }
+    if (*end != '\0' || channels == 0 || dimms == 0)
+        return std::nullopt;
+    TopologySpec spec;
+    spec.channels = static_cast<unsigned>(channels);
+    spec.dimms_per_channel = static_cast<unsigned>(dimms);
+    return spec;
+}
+
+TopologySpec
+TopologySpec::fromEnv(const TopologySpec &fallback)
+{
+    const char *text = std::getenv("SD_TOPOLOGY");
+    if (text == nullptr || *text == '\0')
+        return fallback;
+    std::optional<TopologySpec> parsed = parse(text);
+    if (!parsed.has_value())
+        SD_FATAL("bad SD_TOPOLOGY \"%s\" (want e.g. \"2x2\")", text);
+    TopologySpec spec = fallback;
+    spec.channels = parsed->channels;
+    spec.dimms_per_channel = parsed->dimms_per_channel;
+    return spec;
+}
+
+namespace {
+
+mem::DramGeometry
+finalizeGeometry(const TopologySpec &spec)
+{
+    mem::DramGeometry g = spec.geometry;
+    g.channels = spec.channels;
+    g.dimms_per_channel = spec.dimms_per_channel;
+    return g;
+}
+
+} // namespace
+
+Topology::Topology(const TopologySpec &spec)
+    : spec_(spec), geometry_(finalizeGeometry(spec)),
+      map_(geometry_, geometry_.channels > 1 ?
+                          mem::ChannelInterleave::kCapacity :
+                          mem::ChannelInterleave::kNone)
+{
+    SD_ASSERT(geometry_.channels >= 1, "need at least one channel");
+    SD_ASSERT(geometry_.dimms_per_channel >= 1, "need at least one DIMM");
+    // Every per-device structure (MMIO window, driver heap) must fit
+    // inside the device's contiguous address window.
+    SD_ASSERT(spec_.device.mmio_base + spec_.device.mmio_bytes <=
+                  geometry_.dimmBytes(),
+              "MMIO window exceeds the per-DIMM capacity slice");
+    SD_ASSERT(spec_.driver_base + spec_.driver_bytes <=
+                  spec_.device.mmio_base,
+              "driver heap would overlap the MMIO window");
+
+    const unsigned channels = geometry_.channels;
+    const unsigned dimms = geometry_.dimms_per_channel;
+    const bool tagged = channels * dimms > 1;
+
+    // Devices first: the mux and the memory system hold pointers into
+    // devices_ (a deque, so references stay stable as slots append).
+    std::vector<mem::DimmDevice *> channel_devices;
+    channel_devices.reserve(channels);
+    for (unsigned ch = 0; ch < channels; ++ch) {
+        std::vector<mem::DimmDevice *> dimm_slots;
+        for (unsigned d = 0; d < dimms; ++d) {
+            smartdimm::SmartDimmConfig config = spec_.device;
+            config.mmio_base = slotBase(ch, d) + spec_.device.mmio_base;
+            smartdimm::BufferDevice &device =
+                devices_.emplace_back(events_, map_, store_, config);
+            device.setFaultScope(
+                {static_cast<int>(ch), static_cast<int>(d)});
+            dimm_slots.push_back(&device);
+        }
+        if (dimms > 1)
+            channel_devices.push_back(&muxes_.emplace_back(dimm_slots));
+        else
+            channel_devices.push_back(dimm_slots.front());
+    }
+
+    memory_ = std::make_unique<cache::MemorySystem>(
+        events_, geometry_,
+        channels > 1 ? mem::ChannelInterleave::kCapacity
+                     : mem::ChannelInterleave::kNone,
+        spec_.llc, channel_devices, spec_.timing, spec_.controller,
+        spec_.latencies);
+
+    for (unsigned ch = 0; ch < channels; ++ch) {
+        for (unsigned d = 0; d < dimms; ++d) {
+            const Addr base = slotBase(ch, d);
+            Slot &slot = slots_.emplace_back(
+                ch, d, base, devices_[slotIndex(ch, d)], *memory_,
+                base + spec_.driver_base, spec_.driver_bytes);
+            slot.engine.setFaultScope(
+                {static_cast<int>(ch), static_cast<int>(d)});
+            if (tagged)
+                slot.engine.setSpanTag("ch" + std::to_string(ch) + ".d" +
+                                       std::to_string(d));
+        }
+    }
+}
+
+void
+Topology::setFaultPlan(fault::FaultPlan *plan)
+{
+    memory_->setFaultPlan(plan);
+    for (smartdimm::BufferDevice &device : devices_)
+        device.setFaultPlan(plan);
+    for (Slot &slot : slots_)
+        slot.engine.setFaultPlan(plan);
+}
+
+void
+Topology::registerStats(trace::StatsRegistry &registry) const
+{
+    memory_->registerStats(registry);
+    const bool tagged = slotCount() > 1;
+    for (const Slot &slot : slots_) {
+        const std::string suffix =
+            tagged ? ".ch" + std::to_string(slot.channel) + ".d" +
+                         std::to_string(slot.dimm)
+                   : std::string();
+        const smartdimm::BufferDevice &device = slot.device;
+        registry.add("smartdimm" + suffix,
+                     [&device](trace::StatsBlock &block) {
+                         device.reportStats(block);
+                     });
+        const compcpy::CompCpyEngine &engine = slot.engine;
+        registry.add("compcpy" + suffix,
+                     [&engine](trace::StatsBlock &block) {
+                         engine.reportStats(block);
+                     });
+    }
+}
+
+} // namespace sd::topo

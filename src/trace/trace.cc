@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <unordered_set>
 
 #include "common/log.h"
 
@@ -23,6 +24,18 @@ stageName(Stage s)
         };
     const auto i = static_cast<std::size_t>(s);
     return i < kNames.size() ? kNames[i] : "?";
+}
+
+const char *
+internString(const std::string &name)
+{
+    static Mutex mu;
+    // Leaked on purpose: interned names must stay valid through
+    // static-destruction-order teardown. unordered_set is node-based,
+    // so growth never moves the stored strings.
+    static auto *pool = new std::unordered_set<std::string>();
+    MutexLock lock(mu);
+    return pool->insert(name).first->c_str();
 }
 
 namespace {

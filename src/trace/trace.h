@@ -79,6 +79,17 @@ enum class Stage : std::uint8_t
 /** Stable short name used in every dump format. */
 const char *stageName(Stage s);
 
+/**
+ * Intern @p name into a process-lifetime pool and return a pointer
+ * valid for the rest of the process. Span kinds are borrowed
+ * `const char *`: a dynamically composed name (e.g. a per-device span
+ * tag like "tls.ch1.d0") must outlive every consumer of the trace —
+ * including dumps taken after the component that composed it is gone —
+ * so it goes through this pool rather than a member string.
+ * Thread-safe; the pool only ever grows (a few names per device).
+ */
+const char *internString(const std::string &name);
+
 /** One cycle-stamped trace record. */
 struct TraceEvent
 {

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "common/random.h"
 #include "mem/address_map.h"
 
@@ -105,6 +107,148 @@ TEST(AddressMap, SequentialPagesStripeAcrossBanks)
     const auto c0 = map.decompose(0);
     const auto c1 = map.decompose(g.row_bytes);
     EXPECT_NE(c0.flatBank(g), c1.flatBank(g));
+}
+
+TEST(AddressMap, ComposeInvertsDecomposeCapacityInterleave)
+{
+    DramGeometry g;
+    g.channels = 4;
+    g.channel_bytes = 1ULL << 30; // keep the space walkable
+    AddressMap map(g, ChannelInterleave::kCapacity);
+    Rng rng(6);
+    for (int i = 0; i < 2000; ++i) {
+        const Addr addr =
+            lineAlign(rng.below(g.channel_bytes * g.channels));
+        EXPECT_EQ(map.compose(map.decompose(addr)), addr);
+    }
+}
+
+TEST(AddressMap, ComposeInvertsDecomposeNonPow2Channels)
+{
+    // Channel extraction is div/mod, so 3- and 6-channel systems (the
+    // paper's testbed has 6 DIMMs) must round-trip exactly too.
+    for (const unsigned channels : {3u, 5u, 6u}) {
+        DramGeometry g;
+        g.channels = channels;
+        g.channel_bytes = 1ULL << 30;
+        for (const auto mode :
+             {ChannelInterleave::kLine, ChannelInterleave::kPage,
+              ChannelInterleave::kCapacity}) {
+            AddressMap map(g, mode);
+            Rng rng(7 + channels);
+            for (int i = 0; i < 1000; ++i) {
+                const Addr addr = lineAlign(
+                    rng.below(g.channel_bytes * g.channels));
+                EXPECT_EQ(map.compose(map.decompose(addr)), addr)
+                    << channels << " channels, mode "
+                    << static_cast<int>(mode);
+            }
+        }
+    }
+}
+
+TEST(AddressMap, CapacityInterleaveChannelWindows)
+{
+    DramGeometry g;
+    g.channels = 3;
+    g.channel_bytes = 1ULL << 30;
+    AddressMap map(g, ChannelInterleave::kCapacity);
+    for (unsigned ch = 0; ch < g.channels; ++ch) {
+        const Addr base = ch * g.channel_bytes;
+        EXPECT_EQ(map.decompose(base).channel, ch);
+        EXPECT_EQ(
+            map.decompose(base + g.channel_bytes - kCacheLineSize)
+                .channel,
+            ch);
+    }
+}
+
+TEST(AddressMap, ComposeInvertsDecomposeMultiDimm)
+{
+    for (const unsigned dimms : {2u, 3u, 4u}) {
+        DramGeometry g;
+        g.channels = 2;
+        g.dimms_per_channel = dimms;
+        // Capacity must split evenly across the DIMM slots.
+        g.channel_bytes = dimms * (256ULL << 20);
+        AddressMap map(g, ChannelInterleave::kCapacity);
+        Rng rng(11 + dimms);
+        for (int i = 0; i < 1500; ++i) {
+            const Addr addr =
+                lineAlign(rng.below(g.channel_bytes * g.channels));
+            const auto coord = map.decompose(addr);
+            EXPECT_LT(coord.dimm, dimms);
+            EXPECT_EQ(map.compose(coord), addr);
+        }
+    }
+}
+
+TEST(AddressMap, DimmIsCapacityPartitionOfChannel)
+{
+    DramGeometry g;
+    g.channels = 2;
+    g.dimms_per_channel = 2;
+    g.channel_bytes = 1ULL << 30;
+    AddressMap map(g, ChannelInterleave::kCapacity);
+    for (unsigned ch = 0; ch < g.channels; ++ch)
+        for (unsigned d = 0; d < g.dimms_per_channel; ++d) {
+            const Addr base =
+                ch * g.channel_bytes + d * g.dimmBytes();
+            const auto lo = map.decompose(base);
+            const auto hi = map.decompose(base + g.dimmBytes() -
+                                          kCacheLineSize);
+            EXPECT_EQ(lo.channel, ch);
+            EXPECT_EQ(lo.dimm, d);
+            EXPECT_EQ(hi.channel, ch);
+            EXPECT_EQ(hi.dimm, d);
+        }
+}
+
+TEST(AddressMap, FlatBankUniqueAcrossDimms)
+{
+    // Each DIMM's chips hold independent row buffers: no two
+    // (dimm, rank, bank group, bank) tuples may share a flat bank id,
+    // and every id must fit the controller's totalBanks() state.
+    DramGeometry g;
+    g.dimms_per_channel = 3;
+    std::vector<bool> seen(g.totalBanks(), false);
+    for (unsigned d = 0; d < g.dimms_per_channel; ++d)
+        for (unsigned r = 0; r < g.ranks; ++r)
+            for (unsigned bg = 0; bg < g.bank_groups; ++bg)
+                for (unsigned b = 0; b < g.banks_per_group; ++b) {
+                    DramCoord coord;
+                    coord.dimm = d;
+                    coord.rank = r;
+                    coord.bank_group = bg;
+                    coord.bank = b;
+                    const unsigned flat = coord.flatBank(g);
+                    ASSERT_LT(flat, seen.size());
+                    EXPECT_FALSE(seen[flat]);
+                    seen[flat] = true;
+                }
+}
+
+TEST(AddressMap, CapacityPow2MatchesSingleChannelLayoutWithinWindow)
+{
+    // Within channel 0's window the kCapacity layout must equal the
+    // legacy single-channel kNone layout bit-for-bit — this is what
+    // keeps a 1x1 topology's traces byte-identical.
+    DramGeometry one;
+    one.channels = 1;
+    one.channel_bytes = 1ULL << 30;
+    DramGeometry four = one;
+    four.channels = 4;
+    AddressMap legacy(one, ChannelInterleave::kNone);
+    AddressMap capacity(four, ChannelInterleave::kCapacity);
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        const Addr addr = lineAlign(rng.below(one.channel_bytes));
+        auto a = legacy.decompose(addr);
+        auto b = capacity.decompose(addr);
+        EXPECT_EQ(b.channel, 0u);
+        b.channel = a.channel; // the only field allowed to differ
+        EXPECT_EQ(a, b);
+    }
 }
 
 TEST(AddressMap, CoordFieldsWithinGeometry)

@@ -64,6 +64,13 @@ GATES = {
             "p99_us": "lower",
         },
     },
+    "BENCH_topology.json": {
+        "keys": ("name",),
+        "metrics": {
+            "ops_per_sec": "higher",
+            "speedup_vs_1x1": "higher",
+        },
+    },
 }
 
 DEFAULT_TOLERANCE = 0.5

@@ -24,6 +24,12 @@ cannot express because they encode *project* contracts:
                 which coalesces redundant passes behind the pending-
                 pass flag; scheduling a schedulePass() lambda directly
                 silently defeats the coalescing (and its accounting).
+  topology-construction
+                MemorySystem/BufferDevice are constructed only inside
+                the topo::Topology factory: it owns the address
+                windows, rebased MMIO bases, fault scopes and stat
+                names. This rule also covers bench/ and examples/
+                (production-shaped rigs); tests/ may wire bespoke rigs.
 
 Usage:
   tools/sdlint.py [--root DIR]     lint the tree (exit 1 on findings)
@@ -265,8 +271,9 @@ ASSERT_RE = re.compile(r"\bSD_ASSERT\s*\(")
 # below baseline the asserts that guard genuine programming errors;
 # raise a file's count only when the new assert is one of those.
 RECOVERABLE_ASSERT_BASELINE = {
-    "mem/address_map.cc": 1,
+    "mem/address_map.cc": 3,  # construction-time geometry invariants
     "mem/bank_state.h": 1,
+    "mem/dimm_mux.h": 2,  # chip-select decode of a malformed coord
     "mem/memory_controller.cc": 2,
     "smartdimm/buffer_device.cc": 3,
     "smartdimm/config_memory.cc": 4,
@@ -371,9 +378,48 @@ def check_wakeup_bypass(path: pathlib.Path, text: str, clean: str) -> list:
     return findings
 
 
+# --------------------------------------------------------------------------
+# Rule: topology-construction
+# --------------------------------------------------------------------------
+
+TOPOLOGY_CTOR_RE = re.compile(
+    r"\bnew\s+(?:[\w:]+\s*::\s*)?(?:MemorySystem|BufferDevice)\b"
+    r"|\bmake_unique\s*<\s*[\w:]*(?:MemorySystem|BufferDevice)\s*>"
+    r"|\b(?:MemorySystem|BufferDevice)\s+\w+\s*[({]")
+
+# The factory is the only place allowed to construct the platform
+# devices: it computes the per-slot capacity windows, rebases each
+# device's MMIO base into its slot, threads fault scopes and keeps the
+# per-device stat names consistent. A hand-wired rig silently gets one
+# global MMIO window and unscoped faults. (References, pointers and
+# template parameters don't match — only construction does.)
+TOPOLOGY_CTOR_ALLOWED = {
+    "topo/topology.h",
+    "topo/topology.cc",
+}
+
+
+def check_topology_construction(path: pathlib.Path, text: str,
+                                clean: str) -> list:
+    parts = path.parts
+    rel = "/".join(parts[-2:]) if len(parts) >= 2 else parts[-1]
+    if rel in TOPOLOGY_CTOR_ALLOWED:
+        return []
+    findings = []
+    for m in TOPOLOGY_CTOR_RE.finditer(clean):
+        findings.append(
+            (path, line_of(clean, m.start()), "topology-construction",
+             "construct MemorySystem/BufferDevice through the "
+             "topo::Topology factory (topo/topology.h): it owns the "
+             "address windows, rebased MMIO bases, fault scopes and "
+             "stat names; only tests may wire bespoke rigs"))
+    return findings
+
+
 CHECKS = [check_determinism, check_span_balance, check_iostream,
           check_mmio, check_guards, check_recoverable_assert,
-          check_queue_bypass, check_wakeup_bypass]
+          check_queue_bypass, check_wakeup_bypass,
+          check_topology_construction]
 
 
 def lint_text(path: pathlib.Path, text: str) -> list:
@@ -390,6 +436,15 @@ def lint_tree(root: pathlib.Path) -> int:
     for path in sorted(src.rglob("*")):
         if path.suffix in SRC_EXTS and path.is_file():
             findings.extend(lint_text(path, path.read_text()))
+    # bench/ and examples/ build production-shaped rigs, so the
+    # topology-construction rule (and only it) extends there; tests/
+    # stay free to wire bespoke rigs.
+    for sub in ("bench", "examples"):
+        for path in sorted((root / sub).rglob("*")):
+            if path.suffix in SRC_EXTS | {".cpp"} and path.is_file():
+                text = path.read_text()
+                findings.extend(check_topology_construction(
+                    path, text, strip_comments_and_strings(text)))
     for path, lineno, rule, msg in findings:
         print(f"{path}:{lineno}: [{rule}] {msg}")
     if findings:
@@ -493,6 +548,29 @@ SELF_TESTS = [
      ".cc", []),  # the blessed entry point
     ("mem/comment_only", "// events_.schedule(t, schedulePass) is banned\n",
      ".cc", []),  # comments don't count
+    # topology-construction cases
+    ("cache/rogue_rig",
+     "void f() { cache::MemorySystem memory(e, g, i, c, d); }", ".cc",
+     ["topology-construction"]),
+    ("smartdimm/rogue_dimm",
+     "void f() { smartdimm::BufferDevice dimm(e, m, s); }", ".cc",
+     ["topology-construction"]),
+    ("app/rogue_ptr",
+     "auto m = std::make_unique<cache::MemorySystem>(a, b);", ".cc",
+     ["topology-construction"]),
+    ("app/rogue_new",
+     "auto *d = new smartdimm::BufferDevice(a, b, c);", ".cc",
+     ["topology-construction"]),
+    ("topo/topology",
+     "void f() { cache::MemorySystem memory(a, b); }", ".cc",
+     []),  # the factory itself is the blessed construction site
+    ("cache/ref_ok",
+     "void f(cache::MemorySystem &m, smartdimm::BufferDevice *d) "
+     "{ m.writeSync(0, p, n); }", ".cc",
+     []),  # references and pointers are uses, not construction
+    ("cache/member_ok",
+     "void f() { std::deque<smartdimm::BufferDevice> pool; }", ".cc",
+     []),  # container element types are not construction sites
 ]
 
 
