@@ -9,6 +9,8 @@
 
 #include <cstdint>
 
+#include "common/log.h"
+
 namespace sd {
 
 /** Extract bits [lo, lo+width) of @p value. */
@@ -30,6 +32,23 @@ insertBits(std::uint64_t value, unsigned lo, unsigned width,
     const std::uint64_t mask =
         width >= 64 ? ~0ULL : ((1ULL << width) - 1);
     return (value & ~(mask << lo)) | ((field & mask) << lo);
+}
+
+/**
+ * Checked narrowing of a 64-bit index into unsigned. Address-map and
+ * dispatcher geometry math divides/mods 64-bit line counts down to
+ * channel/DIMM/slot indices; the result must fit the declared bound or
+ * the geometry itself is broken, so the narrowing asserts instead of
+ * truncating silently.
+ */
+inline unsigned
+narrowIdx(std::uint64_t value, std::uint64_t bound)
+{
+    SD_ASSERT(value < bound,
+              "index %llu out of range (bound %llu)",
+              static_cast<unsigned long long>(value),
+              static_cast<unsigned long long>(bound));
+    return static_cast<unsigned>(value);
 }
 
 /** @return floor(log2(x)); x must be non-zero. */

@@ -30,6 +30,21 @@ inline constexpr std::size_t kPageSize = 4096;
 /** Cache lines per OS page. */
 inline constexpr std::size_t kLinesPerPage = kPageSize / kCacheLineSize;
 
+/** log2(kCacheLineSize): shift between byte and line addresses. */
+inline constexpr unsigned kLineBits = 6;
+static_assert((std::size_t{1} << kLineBits) == kCacheLineSize,
+              "kLineBits must stay log2(kCacheLineSize)");
+
+/** log2(kPageSize): shift between byte and page addresses. */
+inline constexpr unsigned kPageBits = 12;
+static_assert((std::size_t{1} << kPageBits) == kPageSize,
+              "kPageBits must stay log2(kPageSize)");
+
+/** log2(kLinesPerPage): shift between line and page indices. */
+inline constexpr unsigned kPageLineBits = kPageBits - kLineBits;
+static_assert((std::size_t{1} << kPageLineBits) == kLinesPerPage,
+              "kPageLineBits must stay log2(kLinesPerPage)");
+
 /** One tick per picosecond. */
 inline constexpr Tick kTicksPerSecond = 1'000'000'000'000ULL;
 

@@ -32,7 +32,7 @@ AddressMap::AddressMap(const DramGeometry &geometry,
 DramCoord
 AddressMap::decompose(Addr addr) const
 {
-    std::uint64_t v = addr >> 6; // line index
+    std::uint64_t v = addr >> kLineBits; // line index
     const std::uint64_t channels = geometry_.channels;
     DramCoord coord;
 
@@ -41,29 +41,30 @@ AddressMap::decompose(Addr addr) const
         break;
       case ChannelInterleave::kCapacity:
         if (channels > 1) {
-            coord.channel = static_cast<unsigned>(v / channel_lines_);
+            coord.channel = narrowIdx(v / channel_lines_, channels);
             v %= channel_lines_;
         }
         break;
       case ChannelInterleave::kLine:
         if (channels > 1) {
-            coord.channel = static_cast<unsigned>(v % channels);
+            coord.channel = narrowIdx(v % channels, channels);
             v /= channels;
         }
         break;
       case ChannelInterleave::kPage:
         if (channels > 1) {
-            // 4 KB page = 64 lines: rotate whole pages across channels.
-            const std::uint64_t in_page = bits(v, 0, 6);
-            const std::uint64_t page = v >> 6;
-            coord.channel = static_cast<unsigned>(page % channels);
-            v = ((page / channels) << 6) | in_page;
+            // Rotate whole kLinesPerPage-line pages across channels.
+            const std::uint64_t in_page = bits(v, 0, kPageLineBits);
+            const std::uint64_t page = v >> kPageLineBits;
+            coord.channel = narrowIdx(page % channels, channels);
+            v = ((page / channels) << kPageLineBits) | in_page;
         }
         break;
     }
 
     if (geometry_.dimms_per_channel > 1) {
-        coord.dimm = static_cast<unsigned>(v / dimm_lines_);
+        coord.dimm =
+            narrowIdx(v / dimm_lines_, geometry_.dimms_per_channel);
         v %= dimm_lines_;
     }
 
@@ -106,12 +107,14 @@ AddressMap::compose(const DramCoord &coord) const
         break;
       case ChannelInterleave::kPage:
         if (channels > 1) {
-            const std::uint64_t in_page = bits(v, 0, 6);
-            v = (((v >> 6) * channels + coord.channel) << 6) | in_page;
+            const std::uint64_t in_page = bits(v, 0, kPageLineBits);
+            v = (((v >> kPageLineBits) * channels + coord.channel)
+                 << kPageLineBits) |
+                in_page;
         }
         break;
     }
-    return v << 6;
+    return v << kLineBits;
 }
 
 } // namespace sd::mem

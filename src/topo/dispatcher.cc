@@ -4,6 +4,7 @@
 #include <limits>
 #include <memory>
 
+#include "common/bitops.h"
 #include "common/log.h"
 #include "smartdimm/deflate_dsa.h"
 
@@ -40,7 +41,8 @@ ShardDispatcher::ShardDispatcher(Topology &topo,
 unsigned
 ShardDispatcher::homeSlot(std::uint64_t flow) const
 {
-    return static_cast<unsigned>(mix64(flow) % topo_.slotCount());
+    return narrowIdx(mix64(flow) % topo_.slotCount(),
+                     topo_.slotCount());
 }
 
 unsigned

@@ -1,0 +1,20 @@
+// Fixture: addr-arith/bad — magic unit constants and an unchecked
+// narrowing cast of a div/mod result.
+#include "common/types.h"
+
+namespace sd::mem {
+
+unsigned
+channelOf(Addr addr, std::uint64_t channels)
+{
+    const std::uint64_t line = addr >> 6;
+    return static_cast<unsigned>(line % channels);
+}
+
+Addr
+pageOf(Addr addr)
+{
+    return (addr / 4096) * 64;
+}
+
+} // namespace sd::mem

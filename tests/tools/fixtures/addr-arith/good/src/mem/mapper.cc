@@ -1,0 +1,23 @@
+// Fixture: addr-arith/good — unit conversions via named constants,
+// narrowing via the checked helpers.
+#include "common/bitops.h"
+#include "common/types.h"
+
+namespace sd::mem {
+
+unsigned
+channelOf(Addr addr, std::uint64_t channels)
+{
+    const std::uint64_t line = addr >> kLineBits;
+    return narrowIdx(line % channels, channels);
+}
+
+Addr
+rebase(Addr addr, std::uint64_t channels, unsigned channel)
+{
+    const std::uint64_t in_page = bits(addr, 0, kPageLineBits);
+    const std::uint64_t page = addr >> kPageLineBits;
+    return (((page / channels) + channel) << kPageLineBits) | in_page;
+}
+
+} // namespace sd::mem

@@ -1,0 +1,10 @@
+#include "fault/fault.h"
+
+namespace sd::fault {
+
+const char *const kSiteNames[] = {
+    "alert_strm", // typo: should be alert_storm
+    "ghost_site",
+};
+
+} // namespace sd::fault

@@ -1,0 +1,17 @@
+// Fixture: fault-coverage/bad — kGhostSite has no injection call site,
+// no kSiteNames stats entry, and no test reference; kAlertStorm's
+// stats name is positionally wrong.
+#ifndef FIX_FAULT_H
+#define FIX_FAULT_H
+
+namespace sd::fault {
+
+enum class Site {
+    kAlertStorm,
+    kGhostSite,
+    kCount,
+};
+
+} // namespace sd::fault
+
+#endif

@@ -1,0 +1,13 @@
+#include "fault/fault.h"
+
+namespace sd::mem {
+
+void
+maybeStorm(fault::FaultPlan *plan)
+{
+    if (plan && plan->shouldInject(fault::Site::kAlertStorm))
+        raiseAlert();
+    // kGhostSite is never injected anywhere.
+}
+
+} // namespace sd::mem

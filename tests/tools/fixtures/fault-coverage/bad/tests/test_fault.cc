@@ -1,0 +1,7 @@
+#include "fault/fault.h"
+
+TEST(Fault, AlertStormRecovers)
+{
+    plan.arm(sd::fault::Site::kAlertStorm);
+    // kGhostSite is never mentioned by any test.
+}

@@ -1,0 +1,10 @@
+#include "fault/fault.h"
+
+namespace sd::fault {
+
+const char *const kSiteNames[] = {
+    "alert_storm",
+    "queue_full",
+};
+
+} // namespace sd::fault

@@ -1,0 +1,16 @@
+// Fixture: fault-coverage/good — every Site member has an injection
+// call site, a positional kSiteNames entry, and a test reference.
+#ifndef FIX_FAULT_H
+#define FIX_FAULT_H
+
+namespace sd::fault {
+
+enum class Site {
+    kAlertStorm,
+    kQueueFull,
+    kCount,
+};
+
+} // namespace sd::fault
+
+#endif

@@ -1,0 +1,14 @@
+#include "fault/fault.h"
+
+namespace sd::mem {
+
+void
+maybeStorm(fault::FaultPlan *plan)
+{
+    if (plan && plan->shouldInject(fault::Site::kAlertStorm))
+        raiseAlert();
+    if (plan && plan->shouldInject(fault::Site::kQueueFull))
+        rejectSubmission();
+}
+
+} // namespace sd::mem

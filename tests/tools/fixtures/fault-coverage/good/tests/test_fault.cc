@@ -1,0 +1,7 @@
+#include "fault/fault.h"
+
+TEST(Fault, AlertStormRecovers)
+{
+    plan.arm(sd::fault::Site::kAlertStorm);
+    plan.arm(sd::fault::Site::kQueueFull);
+}

@@ -1,0 +1,16 @@
+// Raw mmio_base arithmetic and a numeric MmioReg cast outside the
+// window helpers: per-DIMM rebasing is silently bypassed.
+#include "smartdimm/config.h"
+
+namespace sd::compcpy {
+
+void
+poke(const smartdimm::Config &config, Memory &memory)
+{
+    memory.write64(config.mmio_base + 0x40, 1);
+    const Addr reg =
+        static_cast<Addr>(smartdimm::MmioReg::kFreePages);
+    memory.write64(config.mmio_base + reg, 2);
+}
+
+} // namespace sd::compcpy

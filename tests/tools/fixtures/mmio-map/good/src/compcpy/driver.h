@@ -1,0 +1,20 @@
+// Window helper: the one blessed place that adds mmio_base to a
+// register offset (file is on the mmio-map allowlist).
+#ifndef FIX_DRIVER_H
+#define FIX_DRIVER_H
+
+#include "smartdimm/config.h"
+
+namespace sd::compcpy {
+
+class Driver {
+  public:
+    Addr mmio(smartdimm::MmioReg reg) const
+    {
+        return config_.mmio_base + static_cast<Addr>(reg);
+    }
+};
+
+} // namespace sd::compcpy
+
+#endif

@@ -1,0 +1,13 @@
+// A register access outside the allowlist must flow through the
+// window helper — and does.
+#include "compcpy/driver.h"
+
+namespace sd::compcpy {
+
+void
+poke(Driver &driver, Memory &memory)
+{
+    memory.write64(driver.mmio(smartdimm::MmioReg::kRegister), 1);
+}
+
+} // namespace sd::compcpy

@@ -1,0 +1,21 @@
+// Fixture: mmio-map/good — unique, 8-byte-aligned, 64-byte-spaced
+// register offsets that fit the per-DIMM window.
+#ifndef FIX_CONFIG_H
+#define FIX_CONFIG_H
+
+namespace sd::smartdimm {
+
+enum class MmioReg : unsigned {
+    kFreePages = 0x000,
+    kRegister = 0x040,
+    kFaultStatus = 0x080,
+};
+
+struct Config {
+    Addr mmio_base = 0xF000'0000ULL;
+    Addr mmio_bytes = 1ULL << 20;
+};
+
+} // namespace sd::smartdimm
+
+#endif

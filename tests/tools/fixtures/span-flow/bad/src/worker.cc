@@ -1,0 +1,38 @@
+// Fixture: span-flow/bad — spans leak through early returns, loop
+// continues, and fall-off-the-end paths.
+#include "trace/trace.h"
+
+namespace sd {
+
+int
+earlyReturnLeaks(bool fail)
+{
+    auto span = SD_SPAN_BEGIN("work", 0, 0, 0, 1);
+    if (fail)
+        return -1; // leaks the open span
+    SD_SPAN_END(span, trace::Status::kOk);
+    return 0;
+}
+
+void
+ifWithoutElseLeaks(bool ok)
+{
+    auto span = SD_SPAN_BEGIN("work", 0, 0, 0, 1);
+    if (ok) {
+        SD_SPAN_END(span, trace::Status::kOk);
+    }
+    // falls off the end with the span open on the !ok path
+}
+
+void
+continueSkipsEnd(int n)
+{
+    for (int i = 0; i < n; ++i) {
+        auto span = SD_SPAN_BEGIN("iter", 0, 0, 0, 1);
+        if (i == 3)
+            continue; // leaks this iteration's span
+        SD_SPAN_END(span, trace::Status::kOk);
+    }
+}
+
+} // namespace sd

@@ -1,0 +1,20 @@
+// Fixture: stat-registry/bad — a chC.dD coordinate registration with
+// no 1x1 legacy fallback: at 1x1 the name silently becomes
+// "queue.ch0.d0" and legacy goldens stop resolving.
+#include "trace/trace.h"
+
+namespace sd::topo {
+
+void
+Topology::registerStats(trace::StatsRegistry &registry) const
+{
+    for (const Slot &slot : slots_) {
+        registry.add("queue.ch" + std::to_string(slot.channel) + ".d" +
+                         std::to_string(slot.dimm),
+                     [&slot](trace::StatsBlock &block) {
+                         block.scalar("depth", slot.depth);
+                     });
+    }
+}
+
+} // namespace sd::topo

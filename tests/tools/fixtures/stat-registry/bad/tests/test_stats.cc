@@ -1,0 +1,8 @@
+#include "trace/trace.h"
+
+TEST(Stats, TypoedName)
+{
+    // "qeue.ch0.d0" is a typo for "queue.ch0.d0" — no registration
+    // declares base "qeue".
+    EXPECT_TRUE(json.contains("qeue.ch0.d0"));
+}

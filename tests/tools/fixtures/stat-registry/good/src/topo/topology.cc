@@ -1,0 +1,26 @@
+// Fixture: stat-registry/good — coordinate-tagged registration with a
+// 1x1 legacy fallback (empty suffix), plus a plain component.
+#include "trace/trace.h"
+
+namespace sd::topo {
+
+void
+Topology::registerStats(trace::StatsRegistry &registry) const
+{
+    const bool tagged = channels_ > 1 || dimms_ > 1;
+    for (const Slot &slot : slots_) {
+        const std::string suffix =
+            tagged ? ".ch" + std::to_string(slot.channel) + ".d" +
+                         std::to_string(slot.dimm)
+                   : std::string();
+        registry.add("smartdimm" + suffix,
+                     [&slot](trace::StatsBlock &block) {
+                         block.scalar("hits", slot.hits);
+                     });
+    }
+    registry.add("dispatch", [this](trace::StatsBlock &block) {
+        block.scalar("pinned", pinned_);
+    });
+}
+
+} // namespace sd::topo

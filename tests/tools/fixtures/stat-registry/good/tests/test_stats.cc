@@ -1,0 +1,8 @@
+#include "trace/trace.h"
+
+TEST(Stats, CoordinateNamesResolve)
+{
+    EXPECT_TRUE(json.contains("smartdimm.ch0.d0"));
+    EXPECT_TRUE(json.contains("smartdimm.ch1.d1"));
+    EXPECT_TRUE(json.contains("dispatch"));
+}

@@ -7,14 +7,9 @@ cannot express because they encode *project* contracts:
   determinism   no rand()/srand()/std::random_device in src/ — all
                 randomness must flow through sd::Rng so runs replay
                 bit-identically from a seed.
-  span-balance  every SD_SPAN_BEGIN in a function body is matched by an
-                SD_SPAN_END before that function ends (async engines
-                use the raw Tracer API, which the rule ignores).
   iostream      no `#include <iostream>` in src/ headers — pulling the
                 static ios_base initialiser into every TU bloats the
                 data plane; sinks take std::ostream& instead.
-  mmio          MmioReg register offsets are unique and 8-byte aligned
-                (the DSA decoder does 64-bit MMIO loads).
   guards        every src/ header has an #ifndef SD_* include guard.
   queue-bypass  CompCpyEngine::startOp() is the engine's private
                 execution hook for WorkQueue; everything else must go
@@ -30,6 +25,11 @@ cannot express because they encode *project* contracts:
                 windows, rebased MMIO bases, fault scopes and stat
                 names. This rule also covers bench/ and examples/
                 (production-shaped rigs); tests/ may wire bespoke rigs.
+
+Span balance and the MMIO register map moved to tools/sdcheck.py,
+which checks them with control-flow-aware dataflow and a cross-TU
+window-helper audit respectively — sdlint keeps only the cheap
+per-file text rules so the two tools never double-report.
 
 Usage:
   tools/sdlint.py [--root DIR]     lint the tree (exit 1 on findings)
@@ -129,66 +129,6 @@ def check_determinism(path: pathlib.Path, text: str, clean: str) -> list:
 
 
 # --------------------------------------------------------------------------
-# Rule: span-balance
-# --------------------------------------------------------------------------
-
-SPAN_RE = re.compile(r"\bSD_SPAN_(BEGIN|END)\b")
-# A '{' opens a *function body* when the text before it ends in a
-# parameter list (plus trailing qualifiers). Initialiser lists, class
-# bodies, namespaces and control statements don't match.
-FUNC_OPEN_RE = re.compile(
-    r"\)\s*(?:const|noexcept|override|final|mutable|->\s*[\w:<>&*\s]+)*\s*$")
-CONTROL_RE = re.compile(r"\b(?:if|for|while|switch|catch)\s*\($")
-
-
-def check_span_balance(path: pathlib.Path, text: str, clean: str) -> list:
-    """Brace-tracking heuristic: inside every function body, the number
-    of SD_SPAN_BEGINs must equal the number of SD_SPAN_ENDs by the time
-    the body's closing brace is reached. Macro *definitions* (lines
-    starting with #) are ignored."""
-    # Blank out preprocessor lines so the macro definitions in
-    # trace.h don't count as uses.
-    lines = clean.split("\n")
-    for idx, ln in enumerate(lines):
-        if ln.lstrip().startswith("#"):
-            lines[idx] = ""
-    clean = "\n".join(lines)
-
-    findings = []
-    stack = []  # (is_function, begin_count, end_count, open_line)
-    for i, c in enumerate(clean):
-        if c == "{":
-            before = clean[max(0, i - 200):i]
-            is_func = bool(FUNC_OPEN_RE.search(before)) and not CONTROL_RE.search(
-                before.rstrip()[:-1].rstrip() + "(")
-            stack.append([is_func, 0, 0, line_of(clean, i)])
-        elif c == "}":
-            if not stack:
-                continue
-            is_func, begins, ends, open_line = stack.pop()
-            if is_func and begins != ends:
-                findings.append(
-                    (path, open_line, "span-balance",
-                     f"function opens {begins} SD_SPAN_BEGIN but closes "
-                     f"{ends} SD_SPAN_END"))
-            elif stack:
-                # Non-function scope: bubble counts up to the enclosing
-                # scope so spans opened in an if-branch still balance
-                # at function level.
-                stack[-1][1] += begins
-                stack[-1][2] += ends
-        elif c == "S" and SPAN_RE.match(clean, i):
-            m = SPAN_RE.match(clean, i)
-            if stack:
-                stack[-1][1 if m.group(1) == "BEGIN" else 2] += 1
-            else:
-                findings.append(
-                    (path, line_of(clean, i), "span-balance",
-                     f"SD_SPAN_{m.group(1)} outside any function body"))
-    return findings
-
-
-# --------------------------------------------------------------------------
 # Rule: iostream
 # --------------------------------------------------------------------------
 
@@ -204,40 +144,6 @@ def check_iostream(path: pathlib.Path, text: str, clean: str) -> list:
             (path, line_of(clean, m.start()), "iostream",
              "<iostream> in a header drags the ios_base initialiser "
              "into every TU; take std::ostream& instead"))
-    return findings
-
-
-# --------------------------------------------------------------------------
-# Rule: mmio
-# --------------------------------------------------------------------------
-
-MMIO_ENUM_RE = re.compile(
-    r"enum\s+class\s+MmioReg[^{]*\{(.*?)\}", re.DOTALL)
-MMIO_ENTRY_RE = re.compile(r"(\w+)\s*=\s*(0[xX][0-9a-fA-F]+|\d+)")
-
-
-def check_mmio(path: pathlib.Path, text: str, clean: str) -> list:
-    m = MMIO_ENUM_RE.search(clean)
-    if not m:
-        return []
-    findings = []
-    seen = {}
-    base_line = line_of(clean, m.start(1))
-    for entry in MMIO_ENTRY_RE.finditer(m.group(1)):
-        name, value = entry.group(1), int(entry.group(2), 0)
-        lineno = base_line + m.group(1).count("\n", 0, entry.start())
-        if value % 8 != 0:
-            findings.append(
-                (path, lineno, "mmio",
-                 f"MmioReg::{name} = {value:#x} is not 8-byte aligned; "
-                 "the DSA decoder does 64-bit MMIO loads"))
-        if value in seen:
-            findings.append(
-                (path, lineno, "mmio",
-                 f"MmioReg::{name} = {value:#x} collides with "
-                 f"MmioReg::{seen[value]}"))
-        else:
-            seen[value] = name
     return findings
 
 
@@ -416,10 +322,9 @@ def check_topology_construction(path: pathlib.Path, text: str,
     return findings
 
 
-CHECKS = [check_determinism, check_span_balance, check_iostream,
-          check_mmio, check_guards, check_recoverable_assert,
-          check_queue_bypass, check_wakeup_bypass,
-          check_topology_construction]
+CHECKS = [check_determinism, check_iostream, check_guards,
+          check_recoverable_assert, check_queue_bypass,
+          check_wakeup_bypass, check_topology_construction]
 
 
 def lint_text(path: pathlib.Path, text: str) -> list:
@@ -469,40 +374,21 @@ SELF_TESTS = [
      '#ifndef SD_X_H\n#define SD_X_H\nconst char *k = "rand()";\n#endif',
      ".h", []),
     ("rand-substring", "int grand() { return strand(); }", ".cc", []),
-    ("span-balanced",
-     "void f() { auto s = SD_SPAN_BEGIN(\"x\",0,0,0,0); SD_SPAN_END(s,1); }",
-     ".cc", []),
-    ("span-unbalanced",
-     "void f() { auto s = SD_SPAN_BEGIN(\"x\",0,0,0,0); }", ".cc",
-     ["span-balance"]),
-    ("span-branch-balanced",
-     "void f(bool b) {\n"
-     "  auto s = SD_SPAN_BEGIN(\"x\",0,0,0,0);\n"
-     "  if (b) { SD_SPAN_END(s,1); } else { SD_SPAN_END(s,2); }\n"
-     "}", ".cc", ["span-balance"]),  # 1 begin vs 2 ends: flagged
-    ("span-two-functions",
-     "void f() { auto s = SD_SPAN_BEGIN(\"x\",0,0,0,0); SD_SPAN_END(s,1); }\n"
-     "void g() { SD_SPAN_END(0,1); }", ".cc", ["span-balance"]),
-    ("span-macro-def",
-     "#ifndef SD_T_H\n#define SD_T_H\n"
-     "#define SD_SPAN_BEGIN(k,s,d,b,n) tracer().beginSpan(k,s,d,b,n)\n"
-     "#endif", ".h", []),
+    # span balance moved to sdcheck (control-flow-aware); sdlint must
+    # stay silent on span macros so the tools never double-report.
+    ("span-now-sdcheck",
+     "void f() { auto s = SD_SPAN_BEGIN(\"x\",0,0,0,0); }", ".cc", []),
     ("iostream-header",
      "#ifndef SD_A_H\n#define SD_A_H\n#include <iostream>\n#endif", ".h",
      ["iostream"]),
     ("iostream-impl", "#include <iostream>\nint x;", ".cc", []),
-    ("mmio-good",
-     "#ifndef SD_B_H\n#define SD_B_H\n"
-     "enum class MmioReg : unsigned { kA = 0x00, kB = 0x40 };\n#endif", ".h",
-     []),
-    ("mmio-misaligned",
+    # MMIO register-map checks moved to sdcheck (adds overlap, window
+    # fit and the window-helper access audit); a misaligned enum must
+    # no longer be sdlint's problem.
+    ("mmio-now-sdcheck",
      "#ifndef SD_C_H\n#define SD_C_H\n"
      "enum class MmioReg : unsigned { kA = 0x00, kB = 0x44, kC = 0x3 };\n"
-     "#endif", ".h", ["mmio", "mmio"]),
-    ("mmio-duplicate",
-     "#ifndef SD_D_H\n#define SD_D_H\n"
-     "enum class MmioReg : unsigned { kA = 0x40, kB = 0x40 };\n#endif", ".h",
-     ["mmio"]),
+     "#endif", ".h", []),
     ("guard-missing", "int x;", ".h", ["guards"]),
     # recoverable-assert cases: a "/" in the name makes it the lint
     # path, so the rule sees a module-relative location.
