@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/log.h"
+#include "mem/cxl_link.h"
 
 namespace sd::cache {
 
@@ -22,6 +23,39 @@ MemorySystem::MemorySystem(EventQueue &events,
     for (unsigned ch = 0; ch < geometry.channels; ++ch)
         controllers_.push_back(std::make_unique<mem::MemoryController>(
             events_, map_, timing, mc_config, ch, *devices[ch]));
+    links_.resize(geometry.channels, nullptr);
+}
+
+void
+MemorySystem::attachCxlLink(unsigned channel, mem::CxlLink *link)
+{
+    SD_ASSERT(channel < links_.size(), "channel out of range");
+    links_[channel] = link;
+}
+
+mem::CxlLink *
+MemorySystem::cxlLink(unsigned channel) const
+{
+    SD_ASSERT(channel < links_.size(), "channel out of range");
+    return links_[channel];
+}
+
+mem::MemCallback
+MemorySystem::linked(Addr addr, mem::MemCallback cb)
+{
+    mem::CxlLink *link = links_[map_.decompose(addr).channel];
+    if (!link)
+        return cb;
+    // The DRAM-side completion rides home over the CXL link: the flit
+    // serializes on the shared wire and the response arrives a round
+    // trip later. LLC hits never reach here.
+    return [link, cb = std::move(cb)](Tick,
+                                      mem::MemStatus status) mutable {
+        link->transfer(kCacheLineSize,
+                       [cb = std::move(cb), status](Tick at) mutable {
+                           cb(at, status);
+                       });
+    };
 }
 
 mem::MemoryController &
@@ -104,13 +138,14 @@ MemorySystem::readLine(Addr addr, std::uint8_t *dst, Callback cb)
     std::uint8_t *fill_data = fill->data();
     route(line).enqueueRead(
         line, fill_data,
-        track([line, dst, fill = std::move(fill), cb = std::move(cb),
-               this](Tick at) mutable {
+        linked(line,
+               track([line, dst, fill = std::move(fill),
+                      cb = std::move(cb), this](Tick at) mutable {
             if (std::uint8_t *slot = llc_.dataPtr(line))
                 std::memcpy(slot, fill->data(), kCacheLineSize);
             std::memcpy(dst, fill->data(), kCacheLineSize);
             cb(at);
-        }));
+        })));
 }
 
 void
@@ -133,7 +168,7 @@ MemorySystem::flushLine(Addr addr, Callback cb)
     const auto result = llc_.flush(line);
     if (result.dirty) {
         route(line).enqueueWrite(line, result.data.data(),
-                                 track(std::move(cb)));
+                                 linked(line, track(std::move(cb))));
         return;
     }
     events_.scheduleIn(latencies_.flush_clean, [this, cb = std::move(cb)]()
@@ -143,13 +178,15 @@ MemorySystem::flushLine(Addr addr, Callback cb)
 void
 MemorySystem::mmioWrite(Addr addr, const std::uint8_t *src, Callback cb)
 {
-    route(addr).enqueueWrite(lineAlign(addr), src, track(std::move(cb)));
+    route(addr).enqueueWrite(lineAlign(addr), src,
+                             linked(addr, track(std::move(cb))));
 }
 
 void
 MemorySystem::mmioRead(Addr addr, std::uint8_t *dst, Callback cb)
 {
-    route(addr).enqueueRead(lineAlign(addr), dst, track(std::move(cb)));
+    route(addr).enqueueRead(lineAlign(addr), dst,
+                            linked(addr, track(std::move(cb))));
 }
 
 void
@@ -179,7 +216,7 @@ MemorySystem::dmaReadLine(Addr addr, std::uint8_t *dst, Callback cb)
                                mutable { cb(events_.now()); });
         return;
     }
-    route(line).enqueueRead(line, dst, track(std::move(cb)));
+    route(line).enqueueRead(line, dst, linked(line, track(std::move(cb))));
 }
 
 void

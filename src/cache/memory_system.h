@@ -26,6 +26,10 @@
 #include "sim/event_queue.h"
 #include "trace/trace.h"
 
+namespace sd::mem {
+class CxlLink;
+} // namespace sd::mem
+
 namespace sd::cache {
 
 /** Fixed host-side latencies (ticks = ps). */
@@ -150,6 +154,18 @@ class MemorySystem
     std::uint64_t degradedReads() const { return degraded_reads_; }
 
     /**
+     * Mark @p channel as CXL-attached far memory: every DRAM-side
+     * access on it (LLC misses, writebacks with completions, MMIO)
+     * defers its completion through @p link. LLC hits stay local-speed
+     * — the cache hides the far tier exactly as real CXL.mem caching
+     * does. The link is not owned and must outlive this object.
+     */
+    void attachCxlLink(unsigned channel, mem::CxlLink *link);
+
+    /** @return the link serving @p channel, or null if local. */
+    mem::CxlLink *cxlLink(unsigned channel) const;
+
+    /**
      * Register "<prefix>llc" and one "<prefix>mc.chN" provider per
      * channel into @p registry. Providers reference this object —
      * remove them (or drop the registry) before destroying it.
@@ -160,6 +176,12 @@ class MemorySystem
   private:
     mem::MemoryController &route(Addr addr);
     void writebackVictim(const AccessResult &result);
+
+    /**
+     * Route @p cb through the channel's CXL link when the address
+     * lives on a far channel; identity on local channels.
+     */
+    mem::MemCallback linked(Addr addr, mem::MemCallback cb);
 
     /** Wrap a host Callback as a MemCallback that tallies kDegraded. */
     mem::MemCallback
@@ -179,6 +201,7 @@ class MemorySystem
     mem::BackingStore store_;
     HostLatencies latencies_;
     std::vector<std::unique_ptr<mem::MemoryController>> controllers_;
+    std::vector<mem::CxlLink *> links_; ///< per channel; null = local
     std::uint64_t degraded_reads_ = 0;
 };
 

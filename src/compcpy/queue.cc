@@ -153,6 +153,8 @@ WorkQueue::accept(const Descriptor &desc, std::uint16_t submitter,
 
     order_.push_back(p);
     dispatch_.push_back(p);
+    if (config_.signal == CompletionSignal::kWithheldResponse)
+        ++stats_.withheld_reads; // one held read per descriptor
     ringDoorbell(p);
     return p->id;
 }
@@ -257,6 +259,34 @@ WorkQueue::descriptorExecuted(const std::shared_ptr<Pending> &p)
         burst->data(), [this, p, burst](Tick) {
             if (p->recorded)
                 return;
+            if (config_.signal == CompletionSignal::kWithheldResponse) {
+                // The CXL controller releases the read response it has
+                // been holding since submit: delivery IS the record,
+                // so there is no lossy host write and no polling. The
+                // failure mode is the response itself timing out.
+                if (injectFault(fault::Site::kCxlTimeout)) {
+                    ++stats_.withheld_timeouts;
+                    // The offload DID run, but the host cannot trust a
+                    // completion it never saw — the synthesised record
+                    // comes back degraded and the dispatcher falls
+                    // back to the CPU/local path for the flow.
+                    p->degraded = true;
+                    SD_TRACE_FAULT_EVENT(
+                        p->desc.ops[0].dbuf / kPageSize,
+                        engine_.memory().events().now(),
+                        p->desc.ops[0].dbuf);
+                    return; // poll-timeout recovery synthesises it
+                }
+                const Tick waited =
+                    engine_.memory().events().now() - p->submitted;
+                const std::uint64_t saved =
+                    1 + waited / std::max<Tick>(1, config_.poll_interval);
+                stats_.polls_saved += saved;
+                stats_.poll_bytes_saved += saved * kCacheLineSize;
+                ++stats_.withheld_completions;
+                writeRecord(p, /*recovered=*/false);
+                return;
+            }
             if (injectFault(fault::Site::kLostCompletion)) {
                 ++stats_.lost_records;
                 SD_TRACE_FAULT_EVENT(p->desc.ops[0].dbuf / kPageSize,
@@ -474,6 +504,16 @@ WorkQueue::reportStats(trace::StatsBlock &block) const
     block.scalar("recovery_polls",
                  static_cast<double>(stats_.recovery_polls));
     block.scalar("doorbells", static_cast<double>(stats_.doorbells));
+    block.scalar("withheld_reads",
+                 static_cast<double>(stats_.withheld_reads));
+    block.scalar("withheld_completions",
+                 static_cast<double>(stats_.withheld_completions));
+    block.scalar("withheld_timeouts",
+                 static_cast<double>(stats_.withheld_timeouts));
+    block.scalar("polls_saved",
+                 static_cast<double>(stats_.polls_saved));
+    block.scalar("poll_bytes_saved",
+                 static_cast<double>(stats_.poll_bytes_saved));
     block.scalar("occupancy", static_cast<double>(occupancy_.value()));
     block.scalar("peak_occupancy",
                  static_cast<double>(occupancy_.peak()));

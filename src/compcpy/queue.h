@@ -60,6 +60,24 @@ enum class QueueMode : std::uint8_t
     kShared,        ///< any submitter, arbitration by submit order (SWQ)
 };
 
+/**
+ * How a completion reaches the host. kPollRecord is the DSA model:
+ * the device writes a host-visible record the client polls for (the
+ * write may drop — kLostCompletion). kWithheldResponse is the CXL.mem
+ * far-tier model: the host issues one read of the completion register
+ * and the CXL controller *withholds the response* until the offload
+ * finishes, so delivery of the read response IS the completion — no
+ * polling, no lossy record write. The polls the host would have
+ * issued while waiting are tallied as saved traffic. The failure mode
+ * shifts accordingly: kCxlTimeout drops the withheld response, and the
+ * existing poll-timeout recovery synthesises the record (degraded).
+ */
+enum class CompletionSignal : std::uint8_t
+{
+    kPollRecord = 0,   ///< record array + host polling (local DSA)
+    kWithheldResponse, ///< CXL controller holds the read open
+};
+
 /** Final status of a descriptor, mirroring the PR 5 fault outcomes. */
 enum class CompletionStatus : std::uint8_t
 {
@@ -121,6 +139,14 @@ struct WorkQueueConfig
     std::size_t max_inflight = 8;  ///< ops executing concurrently
     /** Outstanding-descriptor age that arms poll-timeout recovery. */
     Tick poll_timeout = 100'000'000; // 100 us
+    /** Completion delivery model (see CompletionSignal). */
+    CompletionSignal signal = CompletionSignal::kPollRecord;
+    /**
+     * Modelled host poll cadence while a descriptor is outstanding —
+     * the withheld-response mode uses it to count the polls (and their
+     * MMIO read traffic) the far tier saved.
+     */
+    Tick poll_interval = 2'000'000; // 2 us
 };
 
 /** Outcome counters for one work queue. */
@@ -140,6 +166,11 @@ struct WorkQueueStats
     std::uint64_t recovered_records = 0; ///< synthesised by recovery
     std::uint64_t recovery_polls = 0;    ///< kQueueStatus reads issued
     std::uint64_t doorbells = 0;     ///< kQueueDoorbell writes issued
+    std::uint64_t withheld_reads = 0; ///< held completion reads issued
+    std::uint64_t withheld_completions = 0; ///< responses delivered
+    std::uint64_t withheld_timeouts = 0; ///< injected response drops
+    std::uint64_t polls_saved = 0;   ///< polls the held read replaced
+    std::uint64_t poll_bytes_saved = 0; ///< MMIO bytes those polls cost
 };
 
 /**

@@ -16,6 +16,7 @@ constexpr std::array<const char *, kSiteCount> kSiteNames = {
     "scratchpad_exhaust", "config_mem_exhaust", "cuckoo_conflict",
     "cuckoo_insert_fail", "net_loss",          "net_reorder",
     "ordered_fence",      "queue_full",        "lost_completion",
+    "cxl_link_stall",     "cxl_timeout",
 };
 
 } // namespace
@@ -132,7 +133,7 @@ FaultPlan::fromSpec(const std::string &spec, std::uint64_t seed)
             std::size_t open = prefix.find('[');
             const std::string kind = prefix.substr(
                 0, std::min(open, prefix.size()));
-            if (kind != "mem" && kind != "smartdimm")
+            if (kind != "mem" && kind != "smartdimm" && kind != "cxl")
                 return std::nullopt;
             int indices[2] = {-1, -1};
             int parsed = 0;
@@ -152,7 +153,8 @@ FaultPlan::fromSpec(const std::string &spec, std::uint64_t seed)
                 indices[parsed++] = static_cast<int>(idx);
                 ppos = close + 1;
             }
-            if (parsed == 0 || (kind == "mem" && parsed > 1))
+            if (parsed == 0 ||
+                ((kind == "mem" || kind == "cxl") && parsed > 1))
                 return std::nullopt;
             rule.channel = indices[0];
             rule.dimm = indices[1];

@@ -49,6 +49,8 @@ enum class Site : std::uint8_t
     kOrderedFence,      ///< compcpy: ordered-mode fence elided for a window
     kQueueFull,         ///< compcpy: work-queue submit rejected as full
     kLostCompletion,    ///< compcpy: completion record drop (poll recovery)
+    kCxlLinkStall,      ///< mem: CXL link transfer stalled (retry penalty)
+    kCxlTimeout,        ///< compcpy: withheld CXL response never arrives
     kCount,
 };
 

@@ -149,6 +149,25 @@ struct SmartDimmParams
      *  AxDIMM prototype, Sec. VI): no throughput term needed. */
 };
 
+/** CXL.mem-attached SmartDIMM (far-memory tier, ISSUE 10). */
+struct CxlParams
+{
+    /** Link round trip, request to response (CXL 2.0 switch-hop class
+     *  latencies span roughly 300-1500 ns; 600 is a mid-range hop). */
+    double round_trip_ns = 600.0;
+
+    /** Flex-bus payload rate per direction (GB/s, x8 CXL 2.0). */
+    double link_gbps = 32.0;
+
+    /** Control-path round trips per offload: the doorbell write plus
+     *  the withheld completion read the controller holds open. */
+    double doorbell_round_trips = 2.0;
+
+    /** Share of the round trip a streamed line's miss exposes — far
+     *  stores/loads pipeline deeply, hiding most of the flight time. */
+    double mlp_exposure = 0.04;
+};
+
 /** The full calibrated model. */
 struct CostModel
 {
@@ -157,6 +176,7 @@ struct CostModel
     SmartNicParams smartnic;
     QatParams qat;
     SmartDimmParams smartdimm;
+    CxlParams cxl;
 };
 
 } // namespace sd::offload

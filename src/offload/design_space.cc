@@ -1,6 +1,7 @@
 #include "offload/design_space.h"
 
 #include <algorithm>
+#include <iterator>
 #include <cmath>
 
 namespace sd::offload {
@@ -43,7 +44,9 @@ designSpace(const CostModel &model)
         {PlacementKind::kSmartNic, "SmartNIC (autonomous)"},
         {PlacementKind::kQuickAssist, "PCIe accelerator"},
         {PlacementKind::kSmartDimm, "SmartDIMM"},
+        {PlacementKind::kCxlMem, "CXL.mem SmartDIMM"},
     };
+    constexpr std::size_t kOptions = std::size(evals);
 
     LoadContext quiet;
     quiet.leak_fraction = 0.05;
@@ -56,11 +59,11 @@ designSpace(const CostModel &model)
     lossless.leak_fraction = 0.5;
 
     // Collect TLS cycle costs at each operating point.
-    std::array<double, 4> quiet_cycles{};
-    std::array<double, 4> contended_cycles{};
-    std::array<double, 4> lossy_cycles{};
-    std::array<double, 4> lossless_cycles{};
-    for (std::size_t i = 0; i < 4; ++i) {
+    std::array<double, kOptions> quiet_cycles{};
+    std::array<double, kOptions> contended_cycles{};
+    std::array<double, kOptions> lossy_cycles{};
+    std::array<double, kOptions> lossless_cycles{};
+    for (std::size_t i = 0; i < kOptions; ++i) {
         const auto p = makePlacement(evals[i].kind, model);
         quiet_cycles[i] =
             p->messageCost(Ulp::kTlsEncrypt, kMsg, quiet).cpu_cycles +
@@ -83,7 +86,7 @@ designSpace(const CostModel &model)
         contended_cycles.begin(), contended_cycles.end());
 
     std::vector<DesignPoint> points;
-    for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t i = 0; i < kOptions; ++i) {
         DesignPoint point;
         point.option = evals[i].name;
         point.scores[static_cast<std::size_t>(
@@ -128,6 +131,16 @@ designSpace(const CostModel &model)
                 Criterion::kTransportFlexibility)] = 5;
             break;
           case PlacementKind::kSmartDimm:
+            point.scores[static_cast<std::size_t>(
+                Criterion::kTransportCompat)] = 5;
+            point.scores[static_cast<std::size_t>(
+                Criterion::kUlpDiversity)] = 4;
+            point.scores[static_cast<std::size_t>(
+                Criterion::kTransportFlexibility)] = 5;
+            break;
+          case PlacementKind::kCxlMem:
+            // Same above-the-stack CompCpy interface as the local
+            // SmartDIMM; the far tier changes timing, not protocol.
             point.scores[static_cast<std::size_t>(
                 Criterion::kTransportCompat)] = 5;
             point.scores[static_cast<std::size_t>(

@@ -45,6 +45,15 @@ missStalls(double traffic_bytes, double miss_cycles,
     return traffic_bytes / kCacheLineSize * miss_cycles * exposure;
 }
 
+/** Demand-miss penalty including the far-memory tax: a page homed in
+ *  CXL memory adds the link round trip to every host-side miss. */
+double
+missCycles(const CostModel &m, const LoadContext &ctx)
+{
+    return m.cpu.dram_miss_cycles +
+           ctx.far_mem_extra_ns * m.cpu.freq_ghz;
+}
+
 /** CPU placement: everything on-core (AES-NI / software deflate). */
 class CpuPlacement final : public Placement
 {
@@ -83,7 +92,7 @@ class CpuPlacement final : public Placement
         }
 
         const double stalls =
-            missStalls(traffic, m_.cpu.dram_miss_cycles, bytes);
+            missStalls(traffic, missCycles(m_, ctx), bytes);
 
         cost.cpu_cycles = compute + stalls;
         cost.dram_bytes = traffic;
@@ -133,7 +142,7 @@ class SmartNicPlacement final : public Placement
         // The plaintext still streams through host memory to the NIC
         // (fewer passes than on-CPU crypto: no ciphertext copy).
         double traffic = b * 1.2 * ctx.leak_fraction;
-        cycles += missStalls(traffic, m_.cpu.dram_miss_cycles, bytes);
+        cycles += missStalls(traffic, missCycles(m_, ctx), bytes);
 
         // Loss/reorder resynchronisation: driver sync + software
         // fallback crypto for in-flight records (Fig. 2's collapse).
@@ -203,7 +212,7 @@ class QatPlacement final : public Placement
         // through DRAM regardless of cache state.
         const double traffic = b * m_.qat.dram_traffic_factor +
                                b * 2.0 * ctx.leak_fraction;
-        cycles += missStalls(traffic, m_.cpu.dram_miss_cycles, bytes);
+        cycles += missStalls(traffic, missCycles(m_, ctx), bytes);
 
         cost.cpu_cycles = cycles;
         cost.dram_bytes = traffic;
@@ -251,8 +260,8 @@ class SmartDimmPlacement final : public Placement
             cycles += lines(bytes) * m_.smartdimm.fence_cycles;
 
         // The copy's reads come from DRAM (sbuf was flushed) but
-        // stream with deep MLP.
-        cycles += lines(bytes) * m_.cpu.dram_miss_cycles * 0.12;
+        // stream with deep MLP. Far-homed sources pay the link here.
+        cycles += lines(bytes) * missCycles(m_, ctx) * 0.12;
 
         // Inline transform: exactly one channel pass in (the rdCAS
         // the DSA taps) and one out (the self-recycled wrCAS) — no
@@ -262,6 +271,70 @@ class SmartDimmPlacement final : public Placement
         cost.cpu_cycles = cycles;
         cost.dram_bytes = traffic;
         cost.latency_us = cycles / (m_.cpu.freq_ghz * 1e3);
+        return cost;
+    }
+
+  private:
+    CostModel m_;
+};
+
+/**
+ * SmartDIMM behind a CXL.mem link (the far-memory tier of ISSUE 10).
+ * The transform runs near the data on the far device, so the
+ * contention-dependent re-read traffic of the host placements never
+ * crosses the link — only the control path (per-page registration
+ * MMIO, the doorbell, and the withheld completion read) pays round
+ * trips, and the streamed copy exposes a small pipelined share of the
+ * flight time per line.
+ */
+class CxlMemPlacement final : public Placement
+{
+  public:
+    explicit CxlMemPlacement(const CostModel &m) : m_(m) {}
+
+    std::string name() const override { return "CXL.mem"; }
+    PlacementKind kind() const override
+    {
+        return PlacementKind::kCxlMem;
+    }
+
+    UlpCost
+    computeCost(Ulp ulp, std::size_t bytes, const LoadContext &ctx)
+        const override
+    {
+        UlpCost cost;
+        if (ulp == Ulp::kNone)
+            return cost;
+        const double b = static_cast<double>(bytes);
+        const double rt_cycles =
+            m_.cxl.round_trip_ns * m_.cpu.freq_ghz;
+
+        // CompCpy software as on the local SmartDIMM, with the MMIO
+        // registration writes now crossing the link (one round trip
+        // per page pair) plus the doorbell + withheld completion read.
+        double cycles =
+            records(bytes) * m_.smartdimm.bookkeeping_cycles +
+            pages(bytes) * (m_.smartdimm.register_cycles + rt_cycles) +
+            lines(bytes) * m_.smartdimm.flush_line_cycles +
+            b / m_.cpu.memcpy_bytes_per_cycle +
+            lines(static_cast<std::size_t>(b * ctx.output_ratio)) *
+                m_.smartdimm.flush_line_cycles +
+            m_.cxl.doorbell_round_trips * rt_cycles;
+        if (ulp == Ulp::kDeflate)
+            cycles += lines(bytes) * m_.smartdimm.fence_cycles;
+
+        // The copy streams over the flex-bus: deep MLP hides most of
+        // each line's flight time; serialization bounds the rest.
+        cycles += lines(bytes) * rt_cycles * m_.cxl.mlp_exposure;
+
+        // Near-data transform: the in/out passes stay on the far
+        // device's channel. Host DRAM sees only the source read.
+        const double traffic = b;
+
+        cost.cpu_cycles = cycles;
+        cost.dram_bytes = traffic;
+        cost.latency_us = cycles / (m_.cpu.freq_ghz * 1e3) +
+                          b / (m_.cxl.link_gbps * 1e3);
         return cost;
     }
 
@@ -309,6 +382,8 @@ makePlacement(PlacementKind kind, const CostModel &model)
         return std::make_unique<QatPlacement>(model);
       case PlacementKind::kSmartDimm:
         return std::make_unique<SmartDimmPlacement>(model);
+      case PlacementKind::kCxlMem:
+        return std::make_unique<CxlMemPlacement>(model);
     }
     SD_PANIC("unknown placement kind");
 }

@@ -27,13 +27,21 @@ enum class Ulp : std::uint8_t
     kDeflate,    ///< HTTP response compression
 };
 
-/** The placements of Fig. 11/12. */
+/** The placements of Fig. 11/12, plus the CXL far-memory tier. */
 enum class PlacementKind : std::uint8_t
 {
     kCpu,
     kSmartNic,
     kQuickAssist,
     kSmartDimm,
+    kCxlMem, ///< SmartDIMM behind a CXL.mem link (withheld completion)
+};
+
+/** Every placement, for tests/sweeps that must cover new tiers. */
+inline constexpr PlacementKind kAllPlacementKinds[] = {
+    PlacementKind::kCpu,        PlacementKind::kSmartNic,
+    PlacementKind::kQuickAssist, PlacementKind::kSmartDimm,
+    PlacementKind::kCxlMem,
 };
 
 /** Per-message resource consumption. */
@@ -51,6 +59,13 @@ struct LoadContext
     double leak_fraction = 1.0;  ///< of streamed lines spilling to DRAM
     double loss_events_per_message = 0.0; ///< TCP recoveries (Fig. 2)
     double output_ratio = 1.0;   ///< compressed-output / input size
+    /**
+     * Extra per-miss latency when the message's pages live in far
+     * (CXL-attached) memory, ns. Zero for a hot/local working set.
+     * Host-side placements pay it on every demand miss; the CXL tier
+     * transforms near-data and only pays it on its control path.
+     */
+    double far_mem_extra_ns = 0.0;
 };
 
 /** Evaluation counters accumulated across messageCost() calls. */
@@ -92,7 +107,7 @@ class Placement
     mutable PlacementEvalStats eval_;
 };
 
-/** Factory over the four placements of the evaluation. */
+/** Factory over the placements of the evaluation. */
 std::unique_ptr<Placement> makePlacement(PlacementKind kind,
                                          const CostModel &model = {});
 

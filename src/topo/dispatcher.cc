@@ -34,8 +34,18 @@ ShardDispatcher::ShardDispatcher(Topology &topo,
               "queue id 0 is the engines' internal sync queue");
     for (unsigned s = 0; s < topo_.slotCount(); ++s) {
         compcpy::WorkQueueConfig qc = config_.queue;
+        if (topo_.isFarSlot(s)) {
+            // Far-tier queues complete via the withheld-response
+            // protocol: the CXL controller holds the completion read
+            // open instead of the host polling a record array.
+            qc.signal = compcpy::CompletionSignal::kWithheldResponse;
+            far_slots_.push_back(s);
+        } else {
+            local_slots_.push_back(s);
+        }
         queues_.emplace_back(topo_.slot(s).engine, qc);
     }
+    heat_ = HeatClassifier(config_.heat);
 }
 
 unsigned
@@ -65,8 +75,94 @@ ShardDispatcher::leastLoadedHealthy() const
 }
 
 unsigned
+ShardDispatcher::leastLoadedHealthyIn(
+    const std::vector<unsigned> &slots) const
+{
+    unsigned best = kCpuPath;
+    std::size_t best_occupancy = std::numeric_limits<std::size_t>::max();
+    for (unsigned s : slots) {
+        if (degraded_[s])
+            continue;
+        const std::size_t occupancy = queues_[s].occupancy();
+        if (occupancy >= config_.queue.depth)
+            continue;
+        if (occupancy < best_occupancy) {
+            best_occupancy = occupancy;
+            best = s;
+        }
+    }
+    return best;
+}
+
+unsigned
+ShardDispatcher::placeIn(std::uint64_t flow,
+                         const std::vector<unsigned> &tier)
+{
+    const unsigned home = tier[narrowIdx(
+        mix64(flow) % tier.size(), tier.size())];
+    const std::size_t shed_at = std::max<std::size_t>(
+        1, static_cast<std::size_t>(config_.shed_occupancy *
+                                    static_cast<double>(
+                                        config_.queue.depth)));
+    if (!degraded_[home] && queues_[home].occupancy() < shed_at) {
+        ++stats_.home_hits;
+        return home;
+    }
+    const unsigned chosen = leastLoadedHealthyIn(tier);
+    if (chosen == kCpuPath)
+        return kCpuPath;
+    if (chosen == home)
+        ++stats_.home_hits; // saturated home still least-loaded
+    else
+        ++stats_.shed_to_sibling;
+    return chosen;
+}
+
+unsigned
+ShardDispatcher::placeTiered(std::uint64_t flow, bool hot)
+{
+    // Hot flows home on the local tier, cold flows on the far tier; a
+    // saturated tier sheds into the other one before the CPU path.
+    const auto &preferred = hot ? local_slots_ : far_slots_;
+    const auto &fallback = hot ? far_slots_ : local_slots_;
+    unsigned chosen = placeIn(flow, preferred);
+    if (chosen == kCpuPath && !fallback.empty())
+        chosen = placeIn(flow, fallback);
+    if (chosen == kCpuPath) {
+        ++stats_.shed_to_cpu;
+        return kCpuPath; // not pinned: retry the tiers next op
+    }
+    if (topo_.isFarSlot(chosen))
+        ++stats_.tier_cxl_placements;
+    else
+        ++stats_.tier_local_placements;
+    pins_.emplace(flow, chosen);
+    return chosen;
+}
+
+unsigned
 ShardDispatcher::place(std::uint64_t flow)
 {
+    if (!far_slots_.empty() && !local_slots_.empty()) {
+        const bool hot = heat_.touch(flow);
+        auto pinned = pins_.find(flow);
+        if (pinned != pins_.end()) {
+            const bool far = topo_.isFarSlot(pinned->second);
+            const bool tier_matches = far != hot; // hot<->local
+            if (tier_matches)
+                return pinned->second;
+            // The flow's heat changed since it was pinned: unpin and
+            // re-place it on the matching tier (a migration).
+            pins_.erase(pinned);
+            if (hot)
+                ++stats_.migrations_to_local;
+            else
+                ++stats_.migrations_to_cxl;
+        }
+        ++stats_.placements;
+        return placeTiered(flow, hot);
+    }
+
     auto pinned = pins_.find(flow);
     if (pinned != pins_.end())
         return pinned->second;
@@ -284,6 +380,14 @@ ShardDispatcher::registerStats(trace::StatsRegistry &registry) const
                      static_cast<double>(stats_.stripe_chunks));
         block.scalar("auto_degraded",
                      static_cast<double>(stats_.auto_degraded));
+        block.scalar("tier_local_placements",
+                     static_cast<double>(stats_.tier_local_placements));
+        block.scalar("tier_cxl_placements",
+                     static_cast<double>(stats_.tier_cxl_placements));
+        block.scalar("migrations_to_local",
+                     static_cast<double>(stats_.migrations_to_local));
+        block.scalar("migrations_to_cxl",
+                     static_cast<double>(stats_.migrations_to_cxl));
     });
     const bool tagged = topo_.slotCount() > 1;
     for (unsigned s = 0; s < topo_.slotCount(); ++s) {

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "compcpy/queue.h"
+#include "topo/heat.h"
 #include "topo/topology.h"
 
 namespace sd::topo {
@@ -54,6 +55,10 @@ struct DispatcherConfig
 
     /** Consecutive failed completions that mark a slot degraded. */
     unsigned degrade_after = 4;
+
+    /** Hot/cold classifier for the two-tier policy (only consulted
+     *  when the topology has far slots). */
+    HeatConfig heat{};
 };
 
 /** Placement and shedding counters. */
@@ -66,6 +71,10 @@ struct DispatchStats
     std::uint64_t stripes = 0;         ///< striped messages planned
     std::uint64_t stripe_chunks = 0;   ///< chunk records across stripes
     std::uint64_t auto_degraded = 0;   ///< slots auto-marked degraded
+    std::uint64_t tier_local_placements = 0; ///< placed on local tier
+    std::uint64_t tier_cxl_placements = 0;   ///< placed on far tier
+    std::uint64_t migrations_to_local = 0; ///< cold->hot repins
+    std::uint64_t migrations_to_cxl = 0;   ///< hot->cold repins
 };
 
 /** Policy layer spreading CompCpy offloads across a Topology. */
@@ -94,6 +103,15 @@ class ShardDispatcher
      * the least-loaded healthy sibling. @return kCpuPath — never
      * pinned, so the flow retries the DIMMs next op — when every
      * queue is saturated or every device degraded.
+     *
+     * With far (CXL) slots in the topology the placement is tiered:
+     * every call records a touch with the heat classifier, hot flows
+     * home on the local tier and cold flows on the far tier, and a
+     * pinned flow whose tier no longer matches its heat migrates —
+     * repinned on the other tier with a migration counted. A
+     * saturated tier sheds to the other tier before falling back to
+     * kCpuPath. Without far slots the behaviour is exactly the
+     * untiered policy above.
      */
     unsigned place(std::uint64_t flow);
 
@@ -177,15 +195,29 @@ class ShardDispatcher
      *  ("queue" at 1x1). The registry must not outlive this object. */
     void registerStats(trace::StatsRegistry &registry) const;
 
+    /** Heat-classifier view (two-tier policy introspection). */
+    const HeatClassifier &heat() const { return heat_; }
+
   private:
     unsigned leastLoadedHealthy() const;
+    /** leastLoadedHealthy() restricted to @p slots. */
+    unsigned
+    leastLoadedHealthyIn(const std::vector<unsigned> &slots) const;
+    /** Tier-aware fresh placement of @p flow (pins on success). */
+    unsigned placeTiered(std::uint64_t flow, bool hot);
+    /** Home-or-shed within one tier; kCpuPath when saturated. */
+    unsigned placeIn(std::uint64_t flow,
+                     const std::vector<unsigned> &tier);
 
     Topology &topo_;
     DispatcherConfig config_;
     std::deque<compcpy::WorkQueue> queues_; ///< one per slot, stable refs
     std::vector<bool> degraded_;
     std::vector<unsigned> failure_streak_; ///< consecutive bad records
+    std::vector<unsigned> local_slots_; ///< slots on local channels
+    std::vector<unsigned> far_slots_;   ///< slots behind CXL links
     std::unordered_map<std::uint64_t, unsigned> pins_;
+    HeatClassifier heat_;
     DispatchStats stats_;
 };
 

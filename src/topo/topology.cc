@@ -34,18 +34,57 @@ TopologySpec::parse(const std::string &text)
     return spec;
 }
 
+std::optional<TopologySpec>
+TopologySpec::parseCxl(const std::string &text, const TopologySpec &base)
+{
+    // Grammar: "N[@ns[@gbps]]" — strictly digit-led fields like the
+    // topology grammar; latency/rate parse as doubles.
+    if (text.empty() || std::isdigit(static_cast<unsigned char>(text[0])) == 0)
+        return std::nullopt;
+    char *end = nullptr;
+    const unsigned long count = std::strtoul(text.c_str(), &end, 10);
+    TopologySpec spec = base;
+    spec.cxl_channels = static_cast<unsigned>(count);
+    if (*end == '@') {
+        const char *lat_text = end + 1;
+        if (std::isdigit(static_cast<unsigned char>(*lat_text)) == 0)
+            return std::nullopt;
+        spec.cxl_link.round_trip_ns = std::strtod(lat_text, &end);
+        if (spec.cxl_link.round_trip_ns <= 0.0)
+            return std::nullopt;
+    }
+    if (*end == '@') {
+        const char *rate_text = end + 1;
+        if (std::isdigit(static_cast<unsigned char>(*rate_text)) == 0)
+            return std::nullopt;
+        spec.cxl_link.gbps = std::strtod(rate_text, &end);
+        if (spec.cxl_link.gbps <= 0.0)
+            return std::nullopt;
+    }
+    if (*end != '\0')
+        return std::nullopt;
+    return spec;
+}
+
 TopologySpec
 TopologySpec::fromEnv(const TopologySpec &fallback)
 {
-    const char *text = std::getenv("SD_TOPOLOGY");
-    if (text == nullptr || *text == '\0')
-        return fallback;
-    std::optional<TopologySpec> parsed = parse(text);
-    if (!parsed.has_value())
-        SD_FATAL("bad SD_TOPOLOGY \"%s\" (want e.g. \"2x2\")", text);
     TopologySpec spec = fallback;
-    spec.channels = parsed->channels;
-    spec.dimms_per_channel = parsed->dimms_per_channel;
+    const char *text = std::getenv("SD_TOPOLOGY");
+    if (text != nullptr && *text != '\0') {
+        std::optional<TopologySpec> parsed = parse(text);
+        if (!parsed.has_value())
+            SD_FATAL("bad SD_TOPOLOGY \"%s\" (want e.g. \"2x2\")", text);
+        spec.channels = parsed->channels;
+        spec.dimms_per_channel = parsed->dimms_per_channel;
+    }
+    const char *cxl = std::getenv("SD_CXL");
+    if (cxl != nullptr && *cxl != '\0') {
+        std::optional<TopologySpec> parsed = parseCxl(cxl, spec);
+        if (!parsed.has_value())
+            SD_FATAL("bad SD_CXL \"%s\" (want e.g. \"1@600@32\")", cxl);
+        spec = *parsed;
+    }
     return spec;
 }
 
@@ -55,7 +94,11 @@ mem::DramGeometry
 finalizeGeometry(const TopologySpec &spec)
 {
     mem::DramGeometry g = spec.geometry;
-    g.channels = spec.channels;
+    // Far (CXL) channels sit after the local ones in the flat channel
+    // index space; the AddressMap needs no far-awareness because the
+    // capacity interleave already gives every channel a contiguous
+    // window — the CxlLink delays completions, not addressing.
+    g.channels = spec.totalChannels();
     g.dimms_per_channel = spec.dimms_per_channel;
     return g;
 }
@@ -111,6 +154,15 @@ Topology::Topology(const TopologySpec &spec)
         spec_.llc, channel_devices, spec_.timing, spec_.controller,
         spec_.latencies);
 
+    // One CXL link per far channel: every DRAM-side access on that
+    // channel defers its completion through the link's flit queue.
+    for (unsigned ch = spec_.channels; ch < channels; ++ch) {
+        mem::CxlLink &link =
+            links_.emplace_back(events_, spec_.cxl_link);
+        link.setFaultScope({static_cast<int>(ch), -1});
+        memory_->attachCxlLink(ch, &link);
+    }
+
     for (unsigned ch = 0; ch < channels; ++ch) {
         for (unsigned d = 0; d < dimms; ++d) {
             const Addr base = slotBase(ch, d);
@@ -134,6 +186,8 @@ Topology::setFaultPlan(fault::FaultPlan *plan)
         device.setFaultPlan(plan);
     for (Slot &slot : slots_)
         slot.engine.setFaultPlan(plan);
+    for (mem::CxlLink &link : links_)
+        link.setFaultPlan(plan);
 }
 
 void
@@ -155,6 +209,13 @@ Topology::registerStats(trace::StatsRegistry &registry) const
         registry.add("compcpy" + suffix,
                      [&engine](trace::StatsBlock &block) {
                          engine.reportStats(block);
+                     });
+    }
+    for (unsigned i = 0; i < links_.size(); ++i) {
+        const mem::CxlLink &link = links_[i];
+        registry.add("cxl.ch" + std::to_string(spec_.channels + i),
+                     [&link](trace::StatsBlock &block) {
+                         link.reportStats(block);
                      });
     }
 }

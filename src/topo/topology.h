@@ -32,6 +32,7 @@
 #include "cache/memory_system.h"
 #include "compcpy/compcpy.h"
 #include "compcpy/driver.h"
+#include "mem/cxl_link.h"
 #include "mem/dimm_mux.h"
 #include "smartdimm/buffer_device.h"
 
@@ -42,6 +43,16 @@ struct TopologySpec
 {
     unsigned channels = 1;
     unsigned dimms_per_channel = 1;
+
+    /**
+     * CXL.mem far-memory channels appended *after* the local channels
+     * (so channel indices >= channels are far). Each far channel gets
+     * the same DIMM population as a local one plus a CxlLink every
+     * DRAM-side access defers through; its work queues complete via
+     * the withheld-response protocol instead of host polling.
+     */
+    unsigned cxl_channels = 0;
+    mem::CxlLinkConfig cxl_link{};
 
     /** Per-channel DRAM shape; channels/dimms above override its
      *  channel/dimm fields at construction. */
@@ -65,12 +76,25 @@ struct TopologySpec
     static std::optional<TopologySpec> parse(const std::string &text);
 
     /**
-     * The SD_TOPOLOGY env knob: parse($SD_TOPOLOGY) when set (an
-     * invalid value aborts loudly rather than silently running the
-     * wrong machine), @p fallback otherwise.
+     * Parse the SD_CXL far-tier grammar "N[@ns[@gbps]]" — far channel
+     * count, optional link round-trip latency in ns and link rate in
+     * GB/s ("1@600@32"). Applied onto @p base. @return nullopt on
+     * malformed input.
+     */
+    static std::optional<TopologySpec>
+    parseCxl(const std::string &text, const TopologySpec &base);
+
+    /**
+     * The SD_TOPOLOGY / SD_CXL env knobs: parse($SD_TOPOLOGY) and
+     * parseCxl($SD_CXL) when set (an invalid value aborts loudly
+     * rather than silently running the wrong machine), @p fallback
+     * otherwise.
      */
     static TopologySpec fromEnv(const TopologySpec &fallback);
     static TopologySpec fromEnv() { return fromEnv(TopologySpec{}); }
+
+    /** Local + far channels. */
+    unsigned totalChannels() const { return channels + cxl_channels; }
 };
 
 /** The instantiated machine. Owns every component; non-movable. */
@@ -108,6 +132,30 @@ class Topology
     unsigned channels() const { return geometry_.channels; }
     unsigned dimmsPerChannel() const { return geometry_.dimms_per_channel; }
     unsigned slotCount() const { return static_cast<unsigned>(slots_.size()); }
+
+    /** Channels without a CXL link in front (indices 0..N-1). */
+    unsigned localChannels() const { return spec_.channels; }
+
+    /** @return true when @p channel sits behind a CXL.mem link. */
+    bool
+    isFarChannel(unsigned channel) const
+    {
+        return channel >= spec_.channels;
+    }
+
+    /** @return true when slot @p flat lives on a far channel. */
+    bool
+    isFarSlot(unsigned flat) const
+    {
+        return isFarChannel(slots_[flat].channel);
+    }
+
+    /** The link serving @p channel, or null for a local channel. */
+    mem::CxlLink *
+    cxlLink(unsigned channel)
+    {
+        return memory_->cxlLink(channel);
+    }
 
     EventQueue &events() { return events_; }
     cache::MemorySystem &memory() { return *memory_; }
@@ -150,9 +198,10 @@ class Topology
 
     /**
      * Register every component under per-device names: "llc",
-     * "mc.chN" (via MemorySystem), plus "smartdimm.chN.dM" and
-     * "compcpy.chN.dM" per slot — no key ever aggregates two devices.
-     * The registry must not outlive the topology.
+     * "mc.chN" (via MemorySystem), "smartdimm.chN.dM" and
+     * "compcpy.chN.dM" per slot, plus "cxl.chN" per far-channel link
+     * — no key ever aggregates two devices. The registry must not
+     * outlive the topology.
      */
     void registerStats(trace::StatsRegistry &registry) const;
 
@@ -165,6 +214,7 @@ class Topology
     /** deque: BufferDevice references must stay stable. */
     std::deque<smartdimm::BufferDevice> devices_;
     std::deque<mem::DimmMux> muxes_; ///< one per channel when M > 1
+    std::deque<mem::CxlLink> links_; ///< one per far channel
     std::unique_ptr<cache::MemorySystem> memory_;
     std::deque<Slot> slots_;
 };

@@ -32,16 +32,72 @@ TEST(Placement, SmartNicRejectsDeflate)
                     .supported);
 }
 
-TEST(Placement, EveryPlacementFreeForPlainHttp)
+// ---------------------------------------------------------------------------
+// Invariants every placement must satisfy (parameterized over the
+// full kind list, so adding a placement automatically extends the
+// suite).
+// ---------------------------------------------------------------------------
+
+class EveryPlacement : public ::testing::TestWithParam<PlacementKind>
 {
-    for (auto kind :
-         {PlacementKind::kCpu, PlacementKind::kSmartNic,
-          PlacementKind::kQuickAssist, PlacementKind::kSmartDimm}) {
-        const auto p = makePlacement(kind);
-        const auto cost = p->messageCost(Ulp::kNone, 4096, ctxAt(0.5));
-        EXPECT_EQ(cost.cpu_cycles, 0.0) << p->name();
-        EXPECT_EQ(cost.dram_bytes, 0.0) << p->name();
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, EveryPlacement, ::testing::ValuesIn(kAllPlacementKinds),
+    [](const ::testing::TestParamInfo<PlacementKind> &info) {
+        switch (info.param) {
+          case PlacementKind::kCpu: return "Cpu";
+          case PlacementKind::kSmartNic: return "SmartNic";
+          case PlacementKind::kQuickAssist: return "QuickAssist";
+          case PlacementKind::kSmartDimm: return "SmartDimm";
+          case PlacementKind::kCxlMem: return "CxlMem";
+        }
+        return "Unknown";
+    });
+
+TEST_P(EveryPlacement, FreeForPlainHttp)
+{
+    const auto p = makePlacement(GetParam());
+    const auto cost = p->messageCost(Ulp::kNone, 4096, ctxAt(0.5));
+    EXPECT_EQ(cost.cpu_cycles, 0.0) << p->name();
+    EXPECT_EQ(cost.dram_bytes, 0.0) << p->name();
+}
+
+TEST_P(EveryPlacement, SupportedCostsAreFiniteAndPositive)
+{
+    const auto p = makePlacement(GetParam());
+    for (auto ulp : {Ulp::kTlsEncrypt, Ulp::kDeflate}) {
+        const auto cost = p->messageCost(ulp, 4096, ctxAt(0.5));
+        if (!cost.supported)
+            continue;
+        EXPECT_GT(cost.cpu_cycles, 0.0) << p->name();
+        EXPECT_GT(cost.dram_bytes, 0.0) << p->name();
+        EXPECT_GT(cost.latency_us, 0.0) << p->name();
     }
+}
+
+TEST_P(EveryPlacement, CyclesMonotoneInMessageSize)
+{
+    const auto p = makePlacement(GetParam());
+    const auto small = p->messageCost(Ulp::kTlsEncrypt, 1024,
+                                      ctxAt(0.5));
+    const auto big = p->messageCost(Ulp::kTlsEncrypt, 65536,
+                                    ctxAt(0.5));
+    if (small.supported && big.supported)
+        EXPECT_GT(big.cpu_cycles, small.cpu_cycles) << p->name();
+}
+
+TEST_P(EveryPlacement, FarMemoryNeverMakesAnythingCheaper)
+{
+    const auto p = makePlacement(GetParam());
+    LoadContext near = ctxAt(0.5);
+    LoadContext far = ctxAt(0.5);
+    far.far_mem_extra_ns = 1500.0;
+    const auto near_cost = p->messageCost(Ulp::kTlsEncrypt, 16384, near);
+    const auto far_cost = p->messageCost(Ulp::kTlsEncrypt, 16384, far);
+    if (near_cost.supported)
+        EXPECT_GE(far_cost.cpu_cycles, near_cost.cpu_cycles)
+            << p->name();
 }
 
 TEST(Placement, CpuCostGrowsWithContention)
@@ -124,15 +180,72 @@ TEST(Placement, DeflateOutputRatioShrinksSmartDimmTraffic)
     EXPECT_NEAR(cost.dram_bytes, 4000 * 1.38, 1.0);
 }
 
+TEST(CxlMem, BeatsCpuOnFarHomedData)
+{
+    // The acceptance story of the far tier: once the data is homed
+    // behind the link, the CPU pays the round trip on every demand
+    // miss while the near-data transform pays it only on its control
+    // path — so at >= 600 ns the tier must win, and the advantage
+    // must grow with link latency.
+    double last_ratio = 0.0;
+    for (double ns : {600.0, 1500.0}) {
+        CostModel model;
+        model.cxl.round_trip_ns = ns;
+        LoadContext ctx;
+        ctx.leak_fraction = 1.0;
+        ctx.far_mem_extra_ns = ns;
+        const auto cpu = makePlacement(PlacementKind::kCpu, model);
+        const auto cxl = makePlacement(PlacementKind::kCxlMem, model);
+        const double cpu_cycles =
+            cpu->messageCost(Ulp::kTlsEncrypt, 4096, ctx).cpu_cycles;
+        const double cxl_cycles =
+            cxl->messageCost(Ulp::kTlsEncrypt, 4096, ctx).cpu_cycles;
+        EXPECT_LT(cxl_cycles, cpu_cycles) << ns << " ns";
+        EXPECT_GT(cpu_cycles / cxl_cycles, last_ratio) << ns << " ns";
+        last_ratio = cpu_cycles / cxl_cycles;
+    }
+}
+
+TEST(CxlMem, ControlPathScalesWithLinkLatency)
+{
+    CostModel near_model;
+    near_model.cxl.round_trip_ns = 300.0;
+    CostModel far_model;
+    far_model.cxl.round_trip_ns = 1500.0;
+    LoadContext ctx;
+    const auto near_p =
+        makePlacement(PlacementKind::kCxlMem, near_model);
+    const auto far_p = makePlacement(PlacementKind::kCxlMem, far_model);
+    const auto near_cost =
+        near_p->messageCost(Ulp::kTlsEncrypt, 4096, ctx);
+    const auto far_cost =
+        far_p->messageCost(Ulp::kTlsEncrypt, 4096, ctx);
+    // A slower link costs cycles and latency, but the tier stays
+    // near-data: the host-visible traffic does not change.
+    EXPECT_GT(far_cost.cpu_cycles, near_cost.cpu_cycles);
+    EXPECT_GT(far_cost.latency_us, near_cost.latency_us);
+    EXPECT_DOUBLE_EQ(far_cost.dram_bytes, near_cost.dram_bytes);
+}
+
+TEST(CxlMem, TrafficIsContentionIndependentLikeSmartDimm)
+{
+    const auto cxl = makePlacement(PlacementKind::kCxlMem);
+    const auto quiet =
+        cxl->messageCost(Ulp::kTlsEncrypt, 16384, ctxAt(0.0));
+    const auto thrashed =
+        cxl->messageCost(Ulp::kTlsEncrypt, 16384, ctxAt(1.0));
+    EXPECT_DOUBLE_EQ(quiet.dram_bytes, thrashed.dram_bytes);
+}
+
 TEST(DesignSpace, ScoresMatchThePaperNarrative)
 {
     const auto points = designSpace();
-    ASSERT_EQ(points.size(), 4u);
+    ASSERT_EQ(points.size(), 5u);
 
     const auto score = [&](std::size_t option, Criterion c) {
         return points[option].scores[static_cast<std::size_t>(c)];
     };
-    // Options: 0=CPU, 1=SmartNIC, 2=PCIe, 3=SmartDIMM.
+    // Options: 0=CPU, 1=SmartNIC, 2=PCIe, 3=SmartDIMM, 4=CXL.mem.
     // CPU leads at low contention, SmartDIMM at high contention.
     EXPECT_GE(score(0, Criterion::kLowContentionPerf),
               score(3, Criterion::kLowContentionPerf) - 1.0);
@@ -151,6 +264,16 @@ TEST(DesignSpace, ScoresMatchThePaperNarrative)
     // PCIe pays the fine-grain offload tax on raw performance.
     EXPECT_LT(score(2, Criterion::kLowContentionPerf),
               score(0, Criterion::kLowContentionPerf));
+    // The CXL.mem tier keeps the SmartDIMM's protocol structure (the
+    // far link changes timing, not protocol) and stays near the local
+    // SmartDIMM under contention despite the link round trips.
+    EXPECT_EQ(points[4].option, "CXL.mem SmartDIMM");
+    EXPECT_EQ(score(4, Criterion::kTransportCompat),
+              score(3, Criterion::kTransportCompat));
+    EXPECT_EQ(score(4, Criterion::kUlpDiversity),
+              score(3, Criterion::kUlpDiversity));
+    EXPECT_GT(score(4, Criterion::kHighContentionPerf),
+              score(0, Criterion::kHighContentionPerf));
 }
 
 } // namespace

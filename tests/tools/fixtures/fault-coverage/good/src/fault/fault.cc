@@ -5,6 +5,7 @@ namespace sd::fault {
 const char *const kSiteNames[] = {
     "alert_storm",
     "queue_full",
+    "cxl_timeout",
 };
 
 } // namespace sd::fault

@@ -8,6 +8,7 @@ namespace sd::fault {
 enum class Site {
     kAlertStorm,
     kQueueFull,
+    kCxlTimeout,
     kCount,
 };
 

@@ -9,6 +9,8 @@ maybeStorm(fault::FaultPlan *plan)
         raiseAlert();
     if (plan && plan->shouldInject(fault::Site::kQueueFull))
         rejectSubmission();
+    if (plan && plan->shouldInject(fault::Site::kCxlTimeout))
+        dropWithheldResponse();
 }
 
 } // namespace sd::mem

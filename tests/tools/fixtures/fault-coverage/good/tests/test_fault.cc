@@ -4,4 +4,5 @@ TEST(Fault, AlertStormRecovers)
 {
     plan.arm(sd::fault::Site::kAlertStorm);
     plan.arm(sd::fault::Site::kQueueFull);
+    plan.arm(sd::fault::Site::kCxlTimeout);
 }

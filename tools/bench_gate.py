@@ -71,6 +71,13 @@ GATES = {
             "speedup_vs_1x1": "higher",
         },
     },
+    "BENCH_cxl.json": {
+        "keys": ("name",),
+        "metrics": {
+            "ops_per_sec": "higher",
+            "speedup_vs_cpu": "higher",
+        },
+    },
 }
 
 DEFAULT_TOLERANCE = 0.5
